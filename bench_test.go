@@ -1,0 +1,253 @@
+// Benchmarks regenerating every figure of the paper's evaluation (quick
+// grids; see cmd/topobench for full-fidelity runs), plus micro-benchmarks
+// and ablations for the core algorithms.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/rrg"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// benchOpts are the reduced settings used so every figure regenerates in
+// benchmark time. The series shapes are preserved; only grids and run
+// counts shrink.
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: true, Runs: 2, Seed: 1}
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	runner := experiments.Registry[id]
+	if runner == nil {
+		b.Fatalf("unknown figure %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fig, err := runner(benchOpts())
+		if err != nil {
+			b.Fatalf("figure %s: %v", id, err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatalf("figure %s produced no series", id)
+		}
+	}
+}
+
+// One benchmark per paper figure.
+
+func BenchmarkFig1a(b *testing.B)  { benchFigure(b, "1a") }
+func BenchmarkFig1b(b *testing.B)  { benchFigure(b, "1b") }
+func BenchmarkFig2a(b *testing.B)  { benchFigure(b, "2a") }
+func BenchmarkFig2b(b *testing.B)  { benchFigure(b, "2b") }
+func BenchmarkFig3(b *testing.B)   { benchFigure(b, "3") }
+func BenchmarkFig4a(b *testing.B)  { benchFigure(b, "4a") }
+func BenchmarkFig4b(b *testing.B)  { benchFigure(b, "4b") }
+func BenchmarkFig4c(b *testing.B)  { benchFigure(b, "4c") }
+func BenchmarkFig5(b *testing.B)   { benchFigure(b, "5") }
+func BenchmarkFig6a(b *testing.B)  { benchFigure(b, "6a") }
+func BenchmarkFig6b(b *testing.B)  { benchFigure(b, "6b") }
+func BenchmarkFig6c(b *testing.B)  { benchFigure(b, "6c") }
+func BenchmarkFig7a(b *testing.B)  { benchFigure(b, "7a") }
+func BenchmarkFig7b(b *testing.B)  { benchFigure(b, "7b") }
+func BenchmarkFig8a(b *testing.B)  { benchFigure(b, "8a") }
+func BenchmarkFig8b(b *testing.B)  { benchFigure(b, "8b") }
+func BenchmarkFig8c(b *testing.B)  { benchFigure(b, "8c") }
+func BenchmarkFig9a(b *testing.B)  { benchFigure(b, "9a") }
+func BenchmarkFig9b(b *testing.B)  { benchFigure(b, "9b") }
+func BenchmarkFig9c(b *testing.B)  { benchFigure(b, "9c") }
+func BenchmarkFig10a(b *testing.B) { benchFigure(b, "10a") }
+func BenchmarkFig10b(b *testing.B) { benchFigure(b, "10b") }
+func BenchmarkFig11(b *testing.B)  { benchFigure(b, "11") }
+func BenchmarkFig12a(b *testing.B) { benchFigure(b, "12a") }
+func BenchmarkFig12b(b *testing.B) { benchFigure(b, "12b") }
+func BenchmarkFig12c(b *testing.B) { benchFigure(b, "12c") }
+func BenchmarkFig13(b *testing.B)  { benchFigure(b, "13") }
+
+// ---- micro-benchmarks for the substrates ----
+
+func solverInstance(b *testing.B, n, r, sps int) (*graph.Graph, []traffic.Flow) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g, err := rrg.Regular(rng, n, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		g.SetServers(u, sps)
+	}
+	tm := traffic.Permutation(rng, traffic.HostsOf(g))
+	return g, tm.Flows
+}
+
+// Ablation: solver cost vs. approximation quality. The paper's results are
+// ratios, so ε ≈ 0.1 suffices; this quantifies what tighter ε costs.
+func BenchmarkSolverEpsilon(b *testing.B) {
+	g, flows := solverInstance(b, 40, 10, 5)
+	for _, eps := range []float64{0.2, 0.1, 0.05} {
+		b.Run(fmt.Sprintf("eps=%v", eps), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mcf.Solve(g, flows, mcf.Options{Epsilon: eps}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: solver scaling with network size at fixed degree (the Fig. 2
+// regime).
+func BenchmarkSolverScale(b *testing.B) {
+	for _, n := range []int{20, 40, 80} {
+		g, flows := solverInstance(b, n, 10, 5)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mcf.Solve(g, flows, mcf.Options{Epsilon: 0.1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRRGGeneration(b *testing.B) {
+	for _, c := range []struct{ n, r int }{{40, 10}, {200, 10}, {1000, 4}} {
+		b.Run(fmt.Sprintf("n=%d_r=%d", c.n, c.r), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rrg.Regular(rng, c.n, c.r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTwoClusterGeneration(b *testing.B) {
+	degA := make([]int, 20)
+	degB := make([]int, 40)
+	for i := range degA {
+		degA[i] = 12
+	}
+	for i := range degB {
+		degB[i] = 6
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rrg.TwoCluster(rng, rrg.TwoClusterSpec{
+			DegA: degA, DegB: degB, CrossLinks: 60, LinkCap: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkASPL(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := rrg.Regular(rng, 200, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.ASPL(); !ok {
+			b.Fatal("disconnected")
+		}
+	}
+}
+
+func BenchmarkPacketSim(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := rrg.Regular(rng, 24, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var flows []packet.FlowSpec
+	for i := 0; i < 24; i++ {
+		flows = append(flows, packet.FlowSpec{Src: i, Dst: (i + 11) % 24})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := packet.Simulate(g, flows, packet.Config{
+			SubflowsPerFlow: 4, Warmup: 20, Measure: 100,
+		}, rand.New(rand.NewSource(2))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRewiredVL2Build(b *testing.B) {
+	cfg := topo.VL2Config{DA: 12, DI: 16}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := topo.RewiredVL2(rng, cfg, cfg.NumToRs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the Fig. 12 headline at one scale — rewired VL2 vs VL2
+// throughput at the designed size (not the full binary search).
+func BenchmarkVL2VsRewiredThroughput(b *testing.B) {
+	cfg := topo.VL2Config{DA: 8, DI: 8}
+	vl2, err := topo.VL2(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rew, err := topo.RewiredVL2(rng, cfg, cfg.NumToRs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, g := range map[string]*graph.Graph{"vl2": vl2, "rewired": rew} {
+		b.Run(name, func(b *testing.B) {
+			tm := traffic.Permutation(rand.New(rand.NewSource(2)), traffic.HostsOf(g))
+			for i := 0; i < b.N; i++ {
+				if _, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: 0.1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: optimal flow routing vs static ECMP vs Valiant load balancing
+// on the same instance — the routing-quality gap that §8.2's MPTCP result
+// closes dynamically.
+func BenchmarkRoutingModels(b *testing.B) {
+	g, flows := solverInstance(b, 40, 10, 5)
+	b.Run("optimal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mcf.Solve(g, flows, mcf.Options{Epsilon: 0.1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ecmp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := routing.ECMP(g, flows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vlb", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := routing.VLB(g, flows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

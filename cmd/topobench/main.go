@@ -1,0 +1,95 @@
+// Command topobench regenerates the paper's figures.
+//
+// Usage:
+//
+//	topobench -fig 6a [-runs 20] [-seed 1] [-eps 0.08] [-quick] [-o out.tsv]
+//	topobench -list
+//	topobench -all -quick -o results/
+//
+// Output is TSV, one block per curve, matching the series of the paper's
+// figure (see DESIGN.md §4 for the per-figure index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure ID to regenerate (e.g. 1a, 6c, 12a)")
+		all   = flag.Bool("all", false, "regenerate every figure")
+		list  = flag.Bool("list", false, "list available figure IDs")
+		runs  = flag.Int("runs", 0, "runs per data point (default: 20, or 3 with -quick)")
+		seed  = flag.Int64("seed", 1, "base RNG seed")
+		eps   = flag.Float64("eps", 0, "flow solver epsilon (default 0.08, or 0.12 with -quick)")
+		quick = flag.Bool("quick", false, "reduced grids and run counts")
+		out   = flag.String("o", "", "output file (or directory with -all); default stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Runs: *runs, Seed: *seed, Epsilon: *eps, Quick: *quick}
+
+	switch {
+	case *all:
+		dir := *out
+		if dir == "" {
+			dir = "."
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, id := range experiments.IDs() {
+			if err := runOne(id, opts, filepath.Join(dir, "fig"+id+".tsv")); err != nil {
+				fatal(fmt.Errorf("figure %s: %w", id, err))
+			}
+		}
+	case *fig != "":
+		if err := runOne(*fig, opts, *out); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, opts experiments.Options, outPath string) error {
+	runner, ok := experiments.Registry[id]
+	if !ok {
+		return fmt.Errorf("unknown figure %q (use -list)", id)
+	}
+	start := time.Now()
+	figure, err := runner(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "figure %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return figure.TSV(w)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topobench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command topogen generates and describes topologies.
+//
+// Usage:
+//
+//	topogen -kind rrg -n 40 -r 10 -servers 200 [-format json|dot|stats]
+//	topogen -kind vl2 -da 12 -di 16
+//	topogen -kind rewired-vl2 -da 12 -di 16 -tors 60 -seed 7
+//	topogen -kind fattree -k 8
+//	topogen -kind hypercube -dim 9
+//	topogen -kind torus -a 8 -b 8
+//	topogen -kind hetero -large 20 -small 40 -plarge 30 -psmall 10 -servers 450
+//
+// Formats: "stats" (default) prints size, degree, ASPL, diameter, and the
+// relevant bounds; "dot" emits Graphviz; "json" emits the graph's JSON
+// serialization (readable by flowsolve).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/bounds"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/rrg"
+	"repro/internal/topo"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "rrg", "topology: rrg|vl2|rewired-vl2|fattree|hypercube|torus|complete|hetero")
+		n       = flag.Int("n", 40, "switch count (rrg, complete)")
+		r       = flag.Int("r", 10, "network degree (rrg)")
+		servers = flag.Int("servers", 0, "total servers to attach (rrg, hetero)")
+		da      = flag.Int("da", 12, "VL2 aggregation switch ports")
+		di      = flag.Int("di", 16, "VL2 core switch ports")
+		tors    = flag.Int("tors", 0, "ToR count (rewired-vl2; default DA*DI/4)")
+		k       = flag.Int("k", 8, "fat-tree arity (even)")
+		dim     = flag.Int("dim", 9, "hypercube dimension")
+		ta      = flag.Int("a", 8, "torus rows")
+		tb      = flag.Int("b", 8, "torus cols")
+		nLarge  = flag.Int("large", 20, "hetero: large switch count")
+		nSmall  = flag.Int("small", 40, "hetero: small switch count")
+		pLarge  = flag.Int("plarge", 30, "hetero: large switch ports")
+		pSmall  = flag.Int("psmall", 10, "hetero: small switch ports")
+		xcross  = flag.Float64("cross", 1, "hetero: cross-cluster ratio")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		format  = flag.String("format", "stats", "output: stats|dot|json")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	var g *graph.Graph
+	var err error
+	switch *kind {
+	case "rrg":
+		g, err = rrg.Regular(rng, *n, *r)
+		if err == nil && *servers > 0 {
+			per := *servers / *n
+			for u := 0; u < *n; u++ {
+				g.SetServers(u, per)
+			}
+		}
+	case "vl2":
+		g, err = topo.VL2(topo.VL2Config{DA: *da, DI: *di})
+	case "rewired-vl2":
+		t := *tors
+		if t == 0 {
+			t = *da * *di / 4
+		}
+		g, err = topo.RewiredVL2(rng, topo.VL2Config{DA: *da, DI: *di}, t)
+	case "fattree":
+		g, err = topo.FatTree(*k)
+	case "hypercube":
+		g, err = topo.Hypercube(*dim)
+	case "torus":
+		g, err = topo.Torus2D(*ta, *tb)
+	case "complete":
+		g, err = topo.Complete(*n)
+	case "hetero":
+		g, err = hetero.Build(rng, hetero.Config{
+			NumLarge: *nLarge, NumSmall: *nSmall,
+			PortsLarge: *pLarge, PortsSmall: *pSmall,
+			Servers: *servers, ServersPerLarge: -1, ServersPerSmall: -1,
+			ServerRatio: 1, CrossRatio: *xcross,
+		})
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "dot":
+		fmt.Print(g.DOT(*kind))
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(g); err != nil {
+			fatal(err)
+		}
+	case "stats":
+		printStats(g)
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func printStats(g *graph.Graph) {
+	aspl, connected := g.ASPL()
+	diam, _ := g.Diameter()
+	fmt.Printf("nodes:      %d\n", g.N())
+	fmt.Printf("links:      %d\n", g.NumLinks())
+	fmt.Printf("servers:    %d\n", g.TotalServers())
+	fmt.Printf("capacity:   %.0f (both directions)\n", g.TotalCapacity())
+	fmt.Printf("connected:  %v\n", connected)
+	fmt.Printf("aspl:       %.4f\n", aspl)
+	fmt.Printf("diameter:   %d\n", diam)
+	if r, regular := g.IsRegular(); regular && r > 1 {
+		lb := bounds.ASPLLowerBound(g.N(), r)
+		fmt.Printf("regular:    degree %d\n", r)
+		fmt.Printf("aspl bound: %.4f (observed/bound = %.4f)\n", lb, aspl/lb)
+		if s := g.TotalServers(); s > 0 {
+			fmt.Printf("throughput bound (permutation): %.4f per flow\n",
+				bounds.ThroughputUpperBound(g.N(), r, s))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "High Throughput
+// Data Center Topology Design" (Singla, Godfrey, Kolla — NSDI 2014).
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory), the figure regenerators under internal/experiments, the
+// command-line tools under cmd/, and runnable examples under examples/.
+// The benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation in reduced "quick" mode; use cmd/topobench for full-fidelity
+// runs.
+package repro

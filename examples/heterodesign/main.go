@@ -1,0 +1,82 @@
+// heterodesign: designing a network from a heterogeneous switch pool
+// using the paper's §5 recipe. Given two switch types, the example
+// (1) sweeps the server distribution to show port-proportional placement
+// is optimal, and (2) sweeps cross-cluster connectivity to show the wide
+// throughput plateau that gives cabling flexibility.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+)
+
+func main() {
+	base := hetero.Config{
+		NumLarge: 10, NumSmall: 20,
+		PortsLarge: 24, PortsSmall: 12,
+		Servers:         200,
+		ServersPerLarge: -1, ServersPerSmall: -1,
+	}
+	fmt.Printf("Switch pool: %d large (%d ports) + %d small (%d ports); %d servers\n",
+		base.NumLarge, base.PortsLarge, base.NumSmall, base.PortsSmall, base.Servers)
+	fmt.Printf("Port-proportional placement puts %.0f servers on large switches\n\n",
+		hetero.ProportionalLargeServers(base))
+
+	measure := func(cfg hetero.Config) (float64, bool) {
+		ev := core.Evaluation{Workload: core.Permutation, Runs: 3, Seed: 9, Epsilon: 0.08}
+		st, err := ev.Throughput(func(rng *rand.Rand) (*graph.Graph, error) {
+			return hetero.Build(rng, cfg)
+		})
+		if errors.Is(err, hetero.ErrInfeasiblePoint) {
+			return 0, false
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st.Mean, true
+	}
+
+	fmt.Println("1. Server distribution sweep (ratio to proportional):")
+	for _, x := range []float64{0.5, 0.75, 1.0, 1.25, 1.5} {
+		cfg := base
+		cfg.ServerRatio = x
+		if t, ok := measure(cfg); ok {
+			fmt.Printf("   x=%.2f  throughput=%.4f  %s\n", x, t, bar(t))
+		} else {
+			fmt.Printf("   x=%.2f  (infeasible)\n", x)
+		}
+	}
+
+	fmt.Println("\n2. Cross-cluster connectivity sweep (ratio to vanilla random):")
+	for _, x := range []float64{0.2, 0.4, 0.6, 1.0, 1.5, 2.0} {
+		cfg := base
+		cfg.ServerRatio = 1
+		cfg.CrossRatio = x
+		if t, ok := measure(cfg); ok {
+			fmt.Printf("   x=%.2f  throughput=%.4f  %s\n", x, t, bar(t))
+		} else {
+			fmt.Printf("   x=%.2f  (infeasible)\n", x)
+		}
+	}
+	fmt.Println("\nDesign takeaways (paper §5): place servers proportionally to port")
+	fmt.Println("count; any cross-cluster volume on the plateau works, so switches can")
+	fmt.Println("be clustered for short cables without losing throughput.")
+}
+
+func bar(t float64) string {
+	n := int(t * 60)
+	if n > 60 {
+		n = 60
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

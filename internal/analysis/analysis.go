@@ -1,0 +1,148 @@
+// Package analysis implements the paper's §6.1 throughput decomposition
+//
+//	T = C · U · (1/⟨D⟩) · (1/AS)
+//
+// (total capacity × utilization × inverse shortest path length × inverse
+// stretch) and the per-link-class utilization breakdown used to locate
+// bottlenecks ("we averaged link utilization for each link type").
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+)
+
+// Decomposition captures the four factors of §6.1 for one solved instance.
+type Decomposition struct {
+	Throughput  float64 // T (per-flow)
+	Capacity    float64 // C, total arc capacity
+	Utilization float64 // U = total flow volume / C
+	SPL         float64 // ⟨D⟩, demand-weighted shortest path length
+	Stretch     float64 // AS ≥ 1
+}
+
+// Decompose extracts the decomposition from a flow result on g.
+func Decompose(g *graph.Graph, res *mcf.Result) Decomposition {
+	return Decomposition{
+		Throughput:  res.Throughput,
+		Capacity:    g.TotalCapacity(),
+		Utilization: res.Utilization,
+		SPL:         res.DemandSPL,
+		Stretch:     res.Stretch,
+	}
+}
+
+// Identity returns C·U/(⟨D⟩·AS·f): with f the number of unit-demand
+// commodities this should approximately reproduce T (exact for an
+// exactly-concurrent optimal flow). Tests use it as a consistency check.
+func (d Decomposition) Identity(f float64) float64 {
+	if d.SPL == 0 || d.Stretch == 0 || f == 0 {
+		return 0
+	}
+	return d.Capacity * d.Utilization / (d.SPL * d.Stretch * f)
+}
+
+// ClassPair identifies a link class by the (smaller, larger) classes of
+// its endpoints.
+type ClassPair struct{ A, B int }
+
+func (p ClassPair) String() string { return fmt.Sprintf("%d-%d", p.A, p.B) }
+
+// ClassUtilization reports average link utilization per link class — e.g.
+// links inside the large-switch cluster vs. links crossing clusters. The
+// average is capacity-weighted (total flow over total capacity per class).
+func ClassUtilization(g *graph.Graph, res *mcf.Result) map[ClassPair]float64 {
+	flow := make(map[ClassPair]float64)
+	capacity := make(map[ClassPair]float64)
+	for a := 0; a < g.NumArcs(); a++ {
+		arc := g.Arc(a)
+		ca, cb := g.Class(int(arc.From)), g.Class(int(arc.To))
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		p := ClassPair{ca, cb}
+		flow[p] += res.ArcFlow[a]
+		capacity[p] += arc.Cap
+	}
+	out := make(map[ClassPair]float64, len(flow))
+	for p, c := range capacity {
+		if c > 0 {
+			out[p] = flow[p] / c
+		}
+	}
+	return out
+}
+
+// ClassPairs returns the class pairs present in g, sorted.
+func ClassPairs(g *graph.Graph) []ClassPair {
+	seen := make(map[ClassPair]bool)
+	for a := 0; a < g.NumArcs(); a += 2 {
+		arc := g.Arc(a)
+		ca, cb := g.Class(int(arc.From)), g.Class(int(arc.To))
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		seen[ClassPair{ca, cb}] = true
+	}
+	out := make([]ClassPair, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// NormalizedSeries rescales each metric series so its value at the index
+// of peak throughput equals 1, as in Fig. 9 ("we normalize its value with
+// respect to its value when the throughput is highest").
+type NormalizedSeries struct {
+	X          []float64
+	Throughput []float64
+	Util       []float64
+	InvSPL     []float64
+	InvStretch []float64
+}
+
+// Normalize builds a NormalizedSeries from raw decompositions.
+func Normalize(x []float64, ds []Decomposition) NormalizedSeries {
+	ns := NormalizedSeries{X: append([]float64(nil), x...)}
+	peak := 0
+	for i, d := range ds {
+		if d.Throughput > ds[peak].Throughput {
+			peak = i
+		}
+		_ = i
+		_ = d
+	}
+	div := func(v, ref float64) float64 {
+		if ref == 0 {
+			return 0
+		}
+		return v / ref
+	}
+	p := ds[peak]
+	for _, d := range ds {
+		ns.Throughput = append(ns.Throughput, div(d.Throughput, p.Throughput))
+		ns.Util = append(ns.Util, div(d.Utilization, p.Utilization))
+		invSPL, pInvSPL := safeInv(d.SPL), safeInv(p.SPL)
+		ns.InvSPL = append(ns.InvSPL, div(invSPL, pInvSPL))
+		invSt, pInvSt := safeInv(d.Stretch), safeInv(p.Stretch)
+		ns.InvStretch = append(ns.InvStretch, div(invSt, pInvSt))
+	}
+	return ns
+}
+
+func safeInv(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return 1 / v
+}

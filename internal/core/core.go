@@ -1,0 +1,287 @@
+// Package core is the library's high-level API, tying together the paper's
+// methodology: build a topology (homogeneous RRG, heterogeneous two-type,
+// or VL2-style), generate a workload, solve for throughput, and compare
+// against the analytical bounds.
+//
+// The lower-level packages remain usable directly; core packages the
+// common paths:
+//
+//	g, _ := core.DesignHomogeneous(rng, core.HomogeneousSpec{Switches: 40, Ports: 20, Servers: 200})
+//	ev := core.Evaluation{Workload: core.Permutation, Runs: 20, Seed: 1}
+//	stat, _ := ev.Throughput(func(r *rand.Rand) (*graph.Graph, error) { return g.Clone(), nil })
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/bounds"
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/rrg"
+	"repro/internal/traffic"
+)
+
+// Workload selects a traffic matrix family.
+type Workload int
+
+const (
+	// Permutation is random permutation traffic among servers (the
+	// paper's default, §3).
+	Permutation Workload = iota
+	// AllToAll is all-to-all traffic among servers.
+	AllToAll
+	// Chunky is the §8.1 pattern; set Evaluation.ChunkyFraction.
+	Chunky
+)
+
+func (w Workload) String() string {
+	switch w {
+	case Permutation:
+		return "permutation"
+	case AllToAll:
+		return "all-to-all"
+	case Chunky:
+		return "chunky"
+	default:
+		return fmt.Sprintf("workload(%d)", int(w))
+	}
+}
+
+// HomogeneousSpec describes the §4 setting: N identical switches with k
+// ports each, hosting S servers; each switch devotes k - S/N ports to the
+// network.
+type HomogeneousSpec struct {
+	Switches int // N
+	Ports    int // k
+	Servers  int // S (must divide evenly across switches)
+}
+
+// NetworkDegree returns r = k - S/N.
+func (s HomogeneousSpec) NetworkDegree() int { return s.Ports - s.Servers/s.Switches }
+
+// DesignHomogeneous builds the paper's near-optimal homogeneous design: a
+// uniform random regular graph over the ports left after spreading servers
+// evenly (Jellyfish-style).
+func DesignHomogeneous(rng *rand.Rand, spec HomogeneousSpec) (*graph.Graph, error) {
+	if spec.Switches <= 0 || spec.Servers < 0 || spec.Servers%spec.Switches != 0 {
+		return nil, fmt.Errorf("core: servers %d must divide across %d switches", spec.Servers, spec.Switches)
+	}
+	perSwitch := spec.Servers / spec.Switches
+	r := spec.Ports - perSwitch
+	if r < 1 {
+		return nil, fmt.Errorf("core: no network ports left (k=%d, servers/switch=%d)", spec.Ports, perSwitch)
+	}
+	g, err := rrg.Regular(rng, spec.Switches, r)
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < spec.Switches; u++ {
+		g.SetServers(u, perSwitch)
+	}
+	return g, nil
+}
+
+// UpperBound returns the Theorem 1 + ASPL-lower-bound throughput cap for
+// the homogeneous spec under f unit-demand flows.
+func UpperBound(spec HomogeneousSpec, f int) float64 {
+	return bounds.ThroughputUpperBound(spec.Switches, spec.NetworkDegree(), f)
+}
+
+// Stat summarizes repeated throughput measurements.
+type Stat struct {
+	Mean, Std, Min, Max float64
+	Runs                int
+}
+
+// Evaluation configures repeated measurement of a (randomized) topology
+// under a workload. Each run draws a fresh topology from the builder and a
+// fresh traffic matrix, using a run-specific deterministic RNG.
+type Evaluation struct {
+	Workload       Workload
+	ChunkyFraction float64
+	Runs           int     // number of runs (default 3)
+	Seed           int64   // base seed; run i uses Seed*1e6 + i
+	Epsilon        float64 // solver epsilon (0 = mcf.DefaultEpsilon)
+	Parallel       int     // worker goroutines (0 = GOMAXPROCS)
+}
+
+// Builder constructs a topology for one run.
+type Builder func(rng *rand.Rand) (*graph.Graph, error)
+
+// Throughput measures mean/std/min/max per-flow throughput across runs.
+func (ev Evaluation) Throughput(build Builder) (Stat, error) {
+	vals, _, err := ev.run(build, false)
+	if err != nil {
+		return Stat{}, err
+	}
+	return summarize(vals), nil
+}
+
+// Detailed runs the evaluation and returns every run's full flow result
+// (for the Fig. 9 decomposition analysis) along with the graphs used.
+func (ev Evaluation) Detailed(build Builder) ([]*mcf.Result, []*graph.Graph, error) {
+	_, det, err := ev.run(build, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := make([]*mcf.Result, len(det))
+	gs := make([]*graph.Graph, len(det))
+	for i, d := range det {
+		res[i], gs[i] = d.res, d.g
+	}
+	return res, gs, nil
+}
+
+type detail struct {
+	res *mcf.Result
+	g   *graph.Graph
+}
+
+func (ev Evaluation) run(build Builder, keep bool) ([]float64, []detail, error) {
+	runs := ev.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	workers := ev.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	vals := make([]float64, runs)
+	dets := make([]detail, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				vals[i], dets[i], errs[i] = ev.oneRun(build, i, keep)
+			}
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if !keep {
+		return vals, nil, nil
+	}
+	return vals, dets, nil
+}
+
+func (ev Evaluation) oneRun(build Builder, i int, keep bool) (float64, detail, error) {
+	rng := rand.New(rand.NewSource(ev.Seed*1_000_003 + int64(i)))
+	g, err := build(rng)
+	if err != nil {
+		return 0, detail{}, fmt.Errorf("core: build run %d: %w", i, err)
+	}
+	h := traffic.HostsOf(g)
+	var tm *traffic.Matrix
+	switch ev.Workload {
+	case Permutation:
+		tm = traffic.Permutation(rng, h)
+	case AllToAll:
+		tm = traffic.AllToAll(h)
+	case Chunky:
+		tm, err = traffic.Chunky(rng, h, ev.ChunkyFraction)
+		if err != nil {
+			return 0, detail{}, err
+		}
+	default:
+		return 0, detail{}, fmt.Errorf("core: unknown workload %v", ev.Workload)
+	}
+	res, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: ev.Epsilon})
+	if errors.Is(err, mcf.ErrUnreachable) {
+		// A disconnected instance (e.g. zero cross-cluster links) has zero
+		// concurrent throughput; report it rather than failing the sweep.
+		return 0, detail{res: &mcf.Result{ArcFlow: make([]float64, g.NumArcs()), ArcUtil: make([]float64, g.NumArcs())}, g: g}, nil
+	}
+	if err != nil {
+		return 0, detail{}, err
+	}
+	d := detail{}
+	if keep {
+		d = detail{res: res, g: g}
+	}
+	return res.Throughput, d, nil
+}
+
+func summarize(vals []float64) Stat {
+	st := Stat{Runs: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(vals) == 0 {
+		return st
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = sum / float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		ss += (v - st.Mean) * (v - st.Mean)
+	}
+	st.Std = math.Sqrt(ss / float64(len(vals)))
+	return st
+}
+
+// MaxAtFullThroughput binary-searches the largest size parameter in
+// [lo, hi] for which every run of the evaluation achieves throughput ≥
+// threshold(size) (the paper's "supported at full throughput" search of
+// §7, which uses threshold 1 under random permutation traffic).
+//
+// The builder receives the size parameter (e.g. a ToR count). Because the
+// flow solver is ε-approximate and only *underestimates* throughput, a
+// threshold slightly below 1 (e.g. 1-ε) reproduces the paper's criterion
+// without penalizing solver slack. The threshold is size-dependent so
+// workloads whose per-flow fair share shrinks with size (all-to-all) can
+// be handled: full throughput there means λ ≥ fairShare(size).
+func (ev Evaluation) MaxAtFullThroughput(lo, hi int, threshold func(size int) float64, build func(size int) Builder) (int, error) {
+	ok := func(size int) (bool, error) {
+		st, err := ev.Throughput(build(size))
+		if err != nil {
+			return false, err
+		}
+		return st.Min >= threshold(size), nil
+	}
+	okLo, err := ok(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !okLo {
+		return lo - 1, nil
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}

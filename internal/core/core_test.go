@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rrg"
+)
+
+func TestDesignHomogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := HomogeneousSpec{Switches: 20, Ports: 10, Servers: 80}
+	g, err := DesignHomogeneous(rng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalServers() != 80 {
+		t.Fatalf("servers %d", g.TotalServers())
+	}
+	if r, ok := g.IsRegular(); !ok || r != spec.NetworkDegree() {
+		t.Fatalf("degree %d, want %d", r, spec.NetworkDegree())
+	}
+}
+
+func TestDesignHomogeneousErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := DesignHomogeneous(rng, HomogeneousSpec{Switches: 20, Ports: 10, Servers: 81}); err == nil {
+		t.Fatal("uneven servers accepted")
+	}
+	if _, err := DesignHomogeneous(rng, HomogeneousSpec{Switches: 20, Ports: 4, Servers: 80}); err == nil {
+		t.Fatal("zero network ports accepted")
+	}
+}
+
+func TestUpperBoundMatchesBoundsPackage(t *testing.T) {
+	spec := HomogeneousSpec{Switches: 40, Ports: 15, Servers: 200}
+	ub := UpperBound(spec, 200)
+	if ub <= 0 || math.IsInf(ub, 0) {
+		t.Fatalf("bound %v", ub)
+	}
+}
+
+func testBuilder(n, r, servers int) Builder {
+	return func(rng *rand.Rand) (*graph.Graph, error) {
+		g, err := rrg.Regular(rng, n, r)
+		if err != nil {
+			return nil, err
+		}
+		for u := 0; u < n; u++ {
+			g.SetServers(u, servers)
+		}
+		return g, nil
+	}
+}
+
+func TestEvaluationThroughput(t *testing.T) {
+	ev := Evaluation{Workload: Permutation, Runs: 4, Seed: 3, Epsilon: 0.1}
+	st, err := ev.Throughput(testBuilder(16, 6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs != 4 {
+		t.Fatalf("runs %d", st.Runs)
+	}
+	if st.Min > st.Mean || st.Mean > st.Max {
+		t.Fatalf("stat ordering broken: %+v", st)
+	}
+	if st.Mean <= 0 {
+		t.Fatalf("mean %v", st.Mean)
+	}
+	if st.Std < 0 {
+		t.Fatalf("std %v", st.Std)
+	}
+}
+
+func TestEvaluationDeterministicAcrossParallelism(t *testing.T) {
+	base := Evaluation{Workload: Permutation, Runs: 4, Seed: 5, Epsilon: 0.12}
+	seq := base
+	seq.Parallel = 1
+	par := base
+	par.Parallel = 4
+	a, err := seq.Throughput(testBuilder(12, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Throughput(testBuilder(12, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean || a.Min != b.Min {
+		t.Fatalf("parallelism changed results: %+v vs %+v", a, b)
+	}
+}
+
+func TestEvaluationWorkloads(t *testing.T) {
+	for _, w := range []Workload{Permutation, AllToAll, Chunky} {
+		ev := Evaluation{Workload: w, ChunkyFraction: 0.5, Runs: 2, Seed: 7, Epsilon: 0.15}
+		st, err := ev.Throughput(testBuilder(10, 4, 2))
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		if st.Mean <= 0 {
+			t.Fatalf("%v: mean %v", w, st.Mean)
+		}
+	}
+}
+
+func TestEvaluationUnknownWorkload(t *testing.T) {
+	ev := Evaluation{Workload: Workload(99), Runs: 1}
+	if _, err := ev.Throughput(testBuilder(10, 4, 2)); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestEvaluationBuilderError(t *testing.T) {
+	ev := Evaluation{Runs: 2}
+	boom := errors.New("boom")
+	_, err := ev.Throughput(func(*rand.Rand) (*graph.Graph, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("builder error lost: %v", err)
+	}
+}
+
+func TestEvaluationDisconnectedIsZero(t *testing.T) {
+	ev := Evaluation{Workload: Permutation, Runs: 2, Seed: 1, Epsilon: 0.15}
+	st, err := ev.Throughput(func(*rand.Rand) (*graph.Graph, error) {
+		g := graph.New(4)
+		g.AddLink(0, 1, 1)
+		g.AddLink(2, 3, 1)
+		g.SetServers(0, 2)
+		g.SetServers(2, 2)
+		return g, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean != 0 {
+		t.Fatalf("disconnected throughput %v, want 0", st.Mean)
+	}
+}
+
+func TestDetailed(t *testing.T) {
+	ev := Evaluation{Workload: Permutation, Runs: 3, Seed: 9, Epsilon: 0.12}
+	results, graphs, err := ev.Detailed(testBuilder(12, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || len(graphs) != 3 {
+		t.Fatalf("detailed lengths %d/%d", len(results), len(graphs))
+	}
+	for i, res := range results {
+		if res == nil || graphs[i] == nil {
+			t.Fatal("nil detail entry")
+		}
+		if res.Throughput <= 0 {
+			t.Fatalf("run %d throughput %v", i, res.Throughput)
+		}
+	}
+}
+
+func TestMaxAtFullThroughput(t *testing.T) {
+	// Synthetic criterion: a "topology" whose throughput is 10/size.
+	ev := Evaluation{Workload: Permutation, Runs: 1, Seed: 1, Epsilon: 0.1}
+	calls := 0
+	build := func(size int) Builder {
+		return func(*rand.Rand) (*graph.Graph, error) {
+			calls++
+			// Star of `size` leaves with 1 server each; the center link
+			// capacity makes throughput fall with size.
+			g := graph.New(size + 1)
+			for i := 1; i <= size; i++ {
+				g.AddLink(0, i, 1)
+				g.SetServers(i, 1)
+			}
+			return g, nil
+		}
+	}
+	// Star leaves run a permutation among themselves: every flow crosses
+	// two leaf links; throughput stays ~1 regardless of size, so with
+	// threshold 0.5 the search should hit hi.
+	got, err := ev.MaxAtFullThroughput(2, 9, func(int) float64 { return 0.5 }, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("search result %d, want 9", got)
+	}
+	// An impossible threshold fails at lo.
+	got, err = ev.MaxAtFullThroughput(2, 9, func(int) float64 { return 5 }, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("impossible threshold returned %d, want lo-1 = 1", got)
+	}
+	if calls == 0 {
+		t.Fatal("builder never called")
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	if Permutation.String() != "permutation" || AllToAll.String() != "all-to-all" ||
+		Chunky.String() != "chunky" || Workload(42).String() == "" {
+		t.Fatal("Workload.String broken")
+	}
+}

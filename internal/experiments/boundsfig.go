@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/rrg"
+)
+
+// boundSweep measures, for every cross-cluster ratio, the observed
+// throughput and the Eq. 1 two-cluster upper bound (averaged over runs).
+// It also reports the measured cross-cluster capacity C̄ at every point.
+func boundSweep(o Options, cfgAt func(x float64) hetero.Config, xs []float64, seedMix int64) (keptX, obs, bnd, crossCap []float64, n1, n2 int, err error) {
+	for _, x := range xs {
+		cfg := cfgAt(x)
+		if _, berr := hetero.Build(rand.New(rand.NewSource(1)), cfg); berr != nil {
+			if errors.Is(berr, hetero.ErrInfeasiblePoint) || errors.Is(berr, rrg.ErrInfeasible) {
+				continue
+			}
+			return nil, nil, nil, nil, 0, 0, berr
+		}
+		ev := core.Evaluation{
+			Workload: core.Permutation,
+			Runs:     o.Runs,
+			Seed:     o.Seed + seedMix + int64(x*1000),
+			Epsilon:  o.Epsilon,
+			Parallel: o.Parallel,
+		}
+		results, graphs, rerr := ev.Detailed(func(rng *rand.Rand) (*graph.Graph, error) {
+			return hetero.Build(rng, cfg)
+		})
+		if rerr != nil {
+			return nil, nil, nil, nil, 0, 0, fmt.Errorf("bound sweep x=%v: %w", x, rerr)
+		}
+		mask := hetero.LargeClusterMask(cfg)
+		var tMean, bMean, cMean float64
+		for i, res := range results {
+			g := graphs[i]
+			aspl, _ := g.ASPL()
+			s1, s2 := clusterServers(g, mask)
+			n1, n2 = s1, s2
+			cbar := g.CrossCapacity(mask)
+			tMean += res.Throughput
+			bMean += bounds.TwoClusterBound(g.TotalCapacity(), cbar, aspl, s1, s2)
+			cMean += cbar
+		}
+		n := float64(len(results))
+		keptX = append(keptX, x)
+		obs = append(obs, tMean/n)
+		bnd = append(bnd, bMean/n)
+		crossCap = append(crossCap, cMean/n)
+	}
+	return keptX, obs, bnd, crossCap, n1, n2, nil
+}
+
+func clusterServers(g *graph.Graph, inS []bool) (s1, s2 int) {
+	for u := 0; u < g.N(); u++ {
+		if inS[u] {
+			s1 += g.Servers(u)
+		} else {
+			s2 += g.Servers(u)
+		}
+	}
+	return s1, s2
+}
+
+// Fig10a: the Eq. 1 analytical bound vs. observed throughput for two
+// uniform line-speed cases. The bound should track the observed curve
+// closely, including the knee.
+func Fig10a(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID: "10a", Title: "Analytical bound vs. observed throughput (uniform line-speed)",
+		XLabel: "Cross-cluster Links (Ratio to Expected Under Random Connection)",
+		YLabel: "Normalized Throughput",
+	}
+	cases := []struct {
+		name string
+		cfg  func(x float64) hetero.Config
+	}{
+		{"A", func(x float64) hetero.Config {
+			return hetero.Config{
+				NumLarge: 20, NumSmall: 40, PortsLarge: 30, PortsSmall: 10,
+				Servers: serversForPool(20*30 + 40*10), ServersPerLarge: -1, ServersPerSmall: -1,
+				ServerRatio: 1, CrossRatio: x,
+			}
+		}},
+		{"B", func(x float64) hetero.Config {
+			return hetero.Config{
+				NumLarge: 20, NumSmall: 30, PortsLarge: 30, PortsSmall: 20,
+				Servers: 500, ServersPerLarge: -1, ServersPerSmall: -1,
+				ServerRatio: 1, CrossRatio: x,
+			}
+		}},
+	}
+	for ci, c := range cases {
+		xs, obs, bnd, _, _, _, err := boundSweep(o, c.cfg, crossRatioXs(o.Quick), int64(10100+ci))
+		if err != nil {
+			return nil, err
+		}
+		// Normalize bound and observation by the same constant (the peak
+		// observation) so their gap stays interpretable.
+		ref := maxOf(obs)
+		fig.Series = append(fig.Series,
+			Series{Label: "Bound " + c.name, X: xs, Y: scaled(bnd, ref)},
+			Series{Label: "Throughput " + c.name, X: xs, Y: scaled(obs, ref)},
+		)
+	}
+	return fig, nil
+}
+
+// Fig10b: the same comparison with mixed line-speeds, where the bound can
+// be looser (three cases with 3/6/9 high-speed links).
+func Fig10b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID: "10b", Title: "Analytical bound vs. observed throughput (mixed line-speeds)",
+		XLabel: "Cross-cluster Links (Ratio to Expected Under Random Connection)",
+		YLabel: "Normalized Throughput",
+	}
+	for ci, hl := range []int{3, 6, 9} {
+		name := string(rune('A' + ci))
+		cfgAt := func(x float64) hetero.Config {
+			cfg := fig8Base()
+			cfg.ServersPerLarge, cfg.ServersPerSmall = fig8ServerSplit[0], fig8ServerSplit[1]
+			cfg.HighLinksPerLarge, cfg.HighCap = hl, 4
+			cfg.CrossRatio = x
+			return cfg
+		}
+		xs, obs, bnd, _, _, _, err := boundSweep(o, cfgAt, crossRatioXs(o.Quick), int64(10200+ci))
+		if err != nil {
+			return nil, err
+		}
+		ref := maxOf(obs)
+		fig.Series = append(fig.Series,
+			Series{Label: "Bound " + name, X: xs, Y: scaled(bnd, ref)},
+			Series{Label: "Throughput " + name, X: xs, Y: scaled(obs, ref)},
+		)
+	}
+	return fig, nil
+}
+
+// Fig11: for a family of two-cluster configurations, mark the analytically
+// determined cross-cluster capacity threshold C̄* = T*·2n1n2/(n1+n2) below
+// which throughput must drop from its peak. Every curve should be below
+// peak to the left of its mark.
+func Fig11(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID: "11", Title: "Throughput profile vs. cross-cluster connectivity, with C̄* thresholds",
+		XLabel: "Cross-cluster Links (Ratio to Expected Under Random Connection)",
+		YLabel: "Normalized Throughput",
+	}
+	type cfgCase struct {
+		nSmall, portsSmall, servers int
+	}
+	var cases []cfgCase
+	smalls := []int{20, 30, 40}
+	portss := []int{10, 15, 20}
+	if o.Quick {
+		smalls = []int{20, 40}
+		portss = []int{10, 20}
+	}
+	for _, ns := range smalls {
+		for _, ps := range portss {
+			pool := 20*30 + ns*ps
+			cases = append(cases,
+				cfgCase{ns, ps, int(0.40 * float64(pool))},
+				cfgCase{ns, ps, int(0.50 * float64(pool))},
+			)
+		}
+	}
+	xs := []float64{0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	if o.Quick {
+		xs = []float64{0.1, 0.2, 0.4, 0.7, 1.0}
+	}
+	for ci, c := range cases {
+		label := fmt.Sprintf("%dS x %dp, %d servers", c.nSmall, c.portsSmall, c.servers)
+		cfgAt := func(x float64) hetero.Config {
+			return hetero.Config{
+				NumLarge: 20, NumSmall: c.nSmall, PortsLarge: 30, PortsSmall: c.portsSmall,
+				Servers: c.servers, ServersPerLarge: -1, ServersPerSmall: -1,
+				ServerRatio: 1, CrossRatio: x,
+			}
+		}
+		keptX, obs, _, crossCap, n1, n2, err := boundSweep(o, cfgAt, xs, int64(11000+ci))
+		if err != nil {
+			return nil, err
+		}
+		if len(obs) == 0 {
+			continue
+		}
+		tstar := maxOf(obs)
+		cstar := bounds.CrossCapThreshold(tstar, n1, n2)
+		// Locate the threshold on the x axis by interpolating measured C̄.
+		markX := math.NaN()
+		for i := 0; i < len(keptX); i++ {
+			if crossCap[i] >= cstar {
+				if i == 0 {
+					markX = keptX[0]
+				} else {
+					// Linear interpolation between i-1 and i.
+					f := (cstar - crossCap[i-1]) / (crossCap[i] - crossCap[i-1])
+					markX = keptX[i-1] + f*(keptX[i]-keptX[i-1])
+				}
+				break
+			}
+		}
+		s := Series{Label: label, X: keptX, Y: scaled(obs, tstar)}
+		s.Note = fmt.Sprintf("C̄* = %.1f (T* = %.4f, n1 = %d, n2 = %d); threshold at x ≈ %.3f", cstar, tstar, n1, n2, markX)
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func maxOf(xs []float64) float64 {
+	var m float64
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func scaled(xs []float64, ref float64) []float64 {
+	if ref == 0 {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = v / ref
+	}
+	return out
+}

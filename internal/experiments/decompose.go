@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/rrg"
+)
+
+// decompSweep evaluates a sweep and returns the averaged §6.1
+// decomposition at every feasible point.
+func decompSweep(o Options, mk func(x float64) hetero.Config, xs []float64, seedMix int64) ([]float64, []analysis.Decomposition, error) {
+	var keptX []float64
+	var ds []analysis.Decomposition
+	for _, x := range xs {
+		cfg := mk(x)
+		if _, err := hetero.Build(rand.New(rand.NewSource(1)), cfg); err != nil {
+			if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
+				continue
+			}
+			return nil, nil, err
+		}
+		ev := core.Evaluation{
+			Workload: core.Permutation,
+			Runs:     o.Runs,
+			Seed:     o.Seed + seedMix + int64(x*1000),
+			Epsilon:  o.Epsilon,
+			Parallel: o.Parallel,
+		}
+		results, graphs, err := ev.Detailed(func(rng *rand.Rand) (*graph.Graph, error) {
+			return hetero.Build(rng, cfg)
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("decomposition x=%v: %w", x, err)
+		}
+		var agg analysis.Decomposition
+		for i, res := range results {
+			d := analysis.Decompose(graphs[i], res)
+			agg.Throughput += d.Throughput
+			agg.Capacity += d.Capacity
+			agg.Utilization += d.Utilization
+			agg.SPL += d.SPL
+			agg.Stretch += d.Stretch
+		}
+		n := float64(len(results))
+		agg.Throughput /= n
+		agg.Capacity /= n
+		agg.Utilization /= n
+		agg.SPL /= n
+		agg.Stretch /= n
+		keptX = append(keptX, x)
+		ds = append(ds, agg)
+	}
+	return keptX, ds, nil
+}
+
+// decompFigure packages a normalized decomposition as a 4-series figure.
+func decompFigure(id, title, xlabel string, xs []float64, ds []analysis.Decomposition) *Figure {
+	ns := analysis.Normalize(xs, ds)
+	return &Figure{
+		ID: id, Title: title, XLabel: xlabel, YLabel: "Normalized Metric",
+		Series: []Series{
+			{Label: "Throughput", X: ns.X, Y: ns.Throughput},
+			{Label: "Inverse SPL", X: ns.X, Y: ns.InvSPL},
+			{Label: "Inverse Stretch", X: ns.X, Y: ns.InvStretch},
+			{Label: "Utilization", X: ns.X, Y: ns.Util},
+		},
+	}
+}
+
+// Fig9a: decomposition of the Fig. 4c "480 Servers" server-placement
+// sweep. The paper's finding: utilization tracks throughput best; path
+// length contributes at the right edge.
+func Fig9a(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	xs, ds, err := decompSweep(o, func(x float64) hetero.Config {
+		return hetero.Config{
+			NumLarge: 20, NumSmall: 30,
+			PortsLarge: 30, PortsSmall: 20,
+			Servers:         480,
+			ServersPerLarge: -1, ServersPerSmall: -1,
+			ServerRatio: x,
+		}
+	}, serverRatioXs(o.Quick), 9100)
+	if err != nil {
+		return nil, err
+	}
+	return decompFigure("9a", "Throughput decomposition: server distribution (480 servers)",
+		"Number of Servers at Large Switches (Ratio to Expected Under Random Distribution)", xs, ds), nil
+}
+
+// Fig9b: decomposition of the Fig. 6c "500 Servers" cross-cluster sweep.
+func Fig9b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	xs, ds, err := decompSweep(o, func(x float64) hetero.Config {
+		return hetero.Config{
+			NumLarge: 20, NumSmall: 30,
+			PortsLarge: 30, PortsSmall: 20,
+			Servers:         500,
+			ServersPerLarge: -1, ServersPerSmall: -1,
+			ServerRatio: 1,
+			CrossRatio:  x,
+		}
+	}, crossRatioXs(o.Quick), 9200)
+	if err != nil {
+		return nil, err
+	}
+	return decompFigure("9b", "Throughput decomposition: cross-cluster sweep (500 servers)",
+		"Cross-cluster Links (Ratio to Expected Under Random Connection)", xs, ds), nil
+}
+
+// Fig9c: decomposition of the Fig. 8c "3 H-links" mixed line-speed sweep.
+func Fig9c(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	xs, ds, err := decompSweep(o, func(x float64) hetero.Config {
+		cfg := fig8Base()
+		cfg.ServersPerLarge, cfg.ServersPerSmall = fig8ServerSplit[0], fig8ServerSplit[1]
+		cfg.HighLinksPerLarge, cfg.HighCap = 3, 4
+		cfg.CrossRatio = x
+		return cfg
+	}, crossRatioXs(o.Quick), 9300)
+	if err != nil {
+		return nil, err
+	}
+	return decompFigure("9c", "Throughput decomposition: mixed line-speeds (3 H-links)",
+		"Cross-cluster Links (Ratio to Expected Under Random Connection)", xs, ds), nil
+}

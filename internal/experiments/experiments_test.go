@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Runs: 2, Seed: 1}
+}
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("IDs() has %d entries, Registry %d", len(ids), len(Registry))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if Registry[id] == nil {
+			t.Fatalf("figure %s in IDs but not Registry", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Runs != 20 || o.Seed != 1 || o.Epsilon != 0.08 {
+		t.Fatalf("full defaults wrong: %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.Runs != 3 || q.Epsilon != 0.12 {
+		t.Fatalf("quick defaults wrong: %+v", q)
+	}
+}
+
+func TestTSVFormat(t *testing.T) {
+	fig := &Figure{
+		ID: "x", Title: "T", XLabel: "xs", YLabel: "ys",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{3, 4}, Err: []float64{0.1, 0.2}, Note: "n"},
+			{Label: "b", X: []float64{5}, Y: []float64{6}},
+		},
+	}
+	var sb strings.Builder
+	if err := fig.TSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# Figure x: T", "# series: a", "# note: n", "1\t3\t0.1", "5\t6"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("TSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// seriesValueAt fetches y at the given x (exact match).
+func seriesValueAt(s Series, x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func TestFig1bObservedAboveBound(t *testing.T) {
+	fig, err := Fig1b(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series %d", len(fig.Series))
+	}
+	obs, bound := fig.Series[0], fig.Series[1]
+	for i := range obs.X {
+		if obs.Y[i] < bound.Y[i]-1e-9 {
+			t.Fatalf("observed ASPL %v below bound %v at x=%v", obs.Y[i], bound.Y[i], obs.X[i])
+		}
+	}
+	// ASPL decreases with density.
+	if obs.Y[0] <= obs.Y[len(obs.Y)-1] {
+		t.Fatal("ASPL should fall as degree grows")
+	}
+}
+
+func TestFig1aRatioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow-solver figure; skipped in -short")
+	}
+	fig, err := Fig1a(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y < 0 || y > 1.05 {
+				t.Fatalf("%s: ratio %v out of [0,1] at x=%v", s.Label, y, s.X[i])
+			}
+		}
+		// Ratio at the right edge (dense) should be high.
+		if last := s.Y[len(s.Y)-1]; last < 0.6 {
+			t.Fatalf("%s: dense-network ratio %v too low", s.Label, last)
+		}
+	}
+}
+
+func TestFig3RatioApproachesOne(t *testing.T) {
+	fig, err := Fig3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratio Series
+	for _, s := range fig.Series {
+		if s.Label == "Ratio" {
+			ratio = s
+		}
+	}
+	if len(ratio.Y) == 0 {
+		t.Fatal("no ratio series")
+	}
+	for i, y := range ratio.Y {
+		if y < 1-1e-9 || y > 1.35 {
+			t.Fatalf("ratio %v out of plausible band at x=%v", y, ratio.X[i])
+		}
+	}
+	// Largest size should be within ~15% of the bound.
+	if last := ratio.Y[len(ratio.Y)-1]; last > 1.15 {
+		t.Fatalf("ratio at max size %v, want closer to 1", last)
+	}
+}
+
+func TestFig4cPeakAtProportional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow-solver figure; skipped in -short")
+	}
+	fig, err := Fig4c(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		yAt1, ok := seriesValueAt(s, 1.0)
+		if !ok {
+			t.Fatalf("%s: no x=1 point", s.Label)
+		}
+		if math.Abs(yAt1-1) > 1e-9 {
+			// Peak-normalized: x=1 should be the (or near the) peak.
+			if yAt1 < 0.95 {
+				t.Fatalf("%s: proportional placement %v not near peak", s.Label, yAt1)
+			}
+		}
+		// Extremes fall off.
+		if edge, ok := seriesValueAt(s, 1.6); ok && edge > yAt1 {
+			t.Fatalf("%s: skewed placement (%v) beats proportional (%v)", s.Label, edge, yAt1)
+		}
+	}
+}
+
+func TestFig6cPlateauAndDrop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow-solver figure; skipped in -short")
+	}
+	fig, err := Fig6c(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		if s.Label == "300 Servers" {
+			continue // lightly-loaded case may not drop in the quick grid
+		}
+		low, okLow := seriesValueAt(s, 0.2)
+		mid, okMid := seriesValueAt(s, 1.0)
+		hi, okHi := seriesValueAt(s, 1.5)
+		if !okMid {
+			t.Fatalf("%s: missing x=1", s.Label)
+		}
+		if okLow && low > 0.7*mid {
+			t.Fatalf("%s: no drop at sparse cut (%v vs %v)", s.Label, low, mid)
+		}
+		if okHi && math.Abs(hi-mid) > 0.15 {
+			t.Fatalf("%s: plateau not flat (%v vs %v)", s.Label, hi, mid)
+		}
+	}
+}
+
+func TestFig11ThresholdAnnotated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow-solver figure; skipped in -short")
+	}
+	o := quickOpts()
+	fig, err := Fig11(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) == 0 {
+		t.Fatal("no series")
+	}
+	for _, s := range fig.Series {
+		if !strings.Contains(s.Note, "C̄*") {
+			t.Fatalf("%s: missing threshold note", s.Label)
+		}
+		// Normalization: peak is 1.
+		var peak float64
+		for _, y := range s.Y {
+			if y > peak {
+				peak = y
+			}
+		}
+		if math.Abs(peak-1) > 1e-9 {
+			t.Fatalf("%s: peak %v != 1", s.Label, peak)
+		}
+	}
+}
+
+func TestFig13PacketWithinFewPercent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-sim figure; skipped in -short")
+	}
+	fig, err := Fig13(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, pkt := fig.Series[0], fig.Series[1]
+	for i := range flow.X {
+		gap := math.Abs(flow.Y[i] - pkt.Y[i])
+		if gap > 0.15 {
+			t.Fatalf("DA=%v: packet %v vs flow %v differ by %v", flow.X[i], pkt.Y[i], flow.Y[i], gap)
+		}
+	}
+}
+
+func TestLabelSeedStable(t *testing.T) {
+	a, b := labelSeed("3:1 Port-ratio"), labelSeed("3:1 Port-ratio")
+	if a != b || a < 0 {
+		t.Fatalf("labelSeed unstable or negative: %d %d", a, b)
+	}
+	if labelSeed("x") == labelSeed("y") {
+		t.Fatal("distinct labels collided (unlucky but fix the hash)")
+	}
+}
+
+func TestNormalizePeakZeroSafe(t *testing.T) {
+	s := Series{X: []float64{1, 2}}
+	normalizePeak(&s, []float64{0, 0})
+	for _, y := range s.Y {
+		if math.IsNaN(y) {
+			t.Fatal("NaN from zero-peak normalization")
+		}
+	}
+}

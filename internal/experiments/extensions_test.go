@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// The Jellyfish background claim: an equal-equipment RRG beats the
+// fat-tree under random permutation traffic. At k=4 and k=6 the gap is
+// smaller than the paper's 25% asymptotic figure but must be positive.
+func TestJellyfishBeatsFatTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow-solver experiment; skipped in -short")
+	}
+	o := Options{Quick: true, Runs: 2, Seed: 2}
+	c, err := JellyfishVsFatTree(o, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BaseT <= 0 || c.ChallengerT <= 0 {
+		t.Fatalf("degenerate throughputs: %+v", c)
+	}
+	if c.Gain < 0.05 {
+		t.Fatalf("Jellyfish capacity gain only %.1f%%: %+v", c.Gain*100, c)
+	}
+}
+
+// The §1 claim via [20]: RRGs beat hypercubes, with a healthy margin by
+// 256 nodes (we use dim=8 rather than 512 nodes to keep test time down).
+func TestRRGBeatsHypercube(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow-solver experiment; skipped in -short")
+	}
+	o := Options{Quick: true, Runs: 2, Seed: 2, Epsilon: 0.12}
+	c, err := RRGVsHypercube(o, 6, 2) // 64 nodes, degree 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Gain < 0.05 {
+		t.Fatalf("RRG gain over hypercube only %.1f%%: %+v", c.Gain*100, c)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// FailurePoint is one link-failure level of a resilience sweep.
+type FailurePoint struct {
+	Fraction   float64
+	Throughput float64 // mean over runs, normalized to the zero-failure value
+	Absolute   float64 // raw mean throughput
+	// Disconnected counts runs whose failures disconnected some commodity
+	// (those runs contribute zero throughput).
+	Disconnected int
+}
+
+// FailureSweep measures throughput degradation under random link failures
+// — the graceful-degradation property random graphs are known for. The
+// builder creates the intact topology per run; the same permutation TM is
+// solved after failing each fraction of links.
+func FailureSweep(o Options, build func(rng *rand.Rand) (*graph.Graph, error), fractions []float64) ([]FailurePoint, error) {
+	o = o.withDefaults()
+	out := make([]FailurePoint, len(fractions))
+	for i, frac := range fractions {
+		out[i].Fraction = frac
+	}
+	var baseline float64
+	for run := 0; run < o.Runs; run++ {
+		rng := rand.New(rand.NewSource(o.Seed*389 + int64(run)))
+		g, err := build(rng)
+		if err != nil {
+			return nil, err
+		}
+		tm := traffic.Permutation(rng, traffic.HostsOf(g))
+		for i, frac := range fractions {
+			fg, err := g.FailRandomLinks(rng, frac)
+			if err != nil {
+				return nil, err
+			}
+			res, err := mcf.Solve(fg, tm.Flows, mcf.Options{Epsilon: o.Epsilon})
+			if errors.Is(err, mcf.ErrUnreachable) {
+				out[i].Disconnected++
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("failure sweep frac=%v: %w", frac, err)
+			}
+			out[i].Absolute += res.Throughput
+			if frac == 0 {
+				baseline += res.Throughput
+			}
+		}
+	}
+	for i := range out {
+		out[i].Absolute /= float64(o.Runs)
+	}
+	if baseline > 0 {
+		baseline /= float64(o.Runs)
+		for i := range out {
+			out[i].Throughput = out[i].Absolute / baseline
+		}
+	}
+	return out, nil
+}
+
+// RRGVsFatTreeFailures compares graceful degradation: the same failure
+// fractions applied to an RRG and a fat-tree of comparable equipment.
+// Returns (rrg, fattree) sweeps. k is the fat-tree arity.
+func RRGVsFatTreeFailures(o Options, k int, fractions []float64) (rrgPts, ftPts []FailurePoint, err error) {
+	base, err := topo.FatTree(k)
+	if err != nil {
+		return nil, nil, err
+	}
+	nSwitches, servers := base.N(), base.TotalServers()
+	ftPts, err = FailureSweep(o, func(rng *rand.Rand) (*graph.Graph, error) {
+		return topo.FatTree(k)
+	}, fractions)
+	if err != nil {
+		return nil, nil, err
+	}
+	rrgPts, err = FailureSweep(o, func(rng *rand.Rand) (*graph.Graph, error) {
+		per, extra := servers/nSwitches, servers%nSwitches
+		deg := make([]int, nSwitches)
+		alloc := make([]int, nSwitches)
+		for i := range deg {
+			alloc[i] = per
+			if i < extra {
+				alloc[i]++
+			}
+			deg[i] = k - alloc[i]
+		}
+		if sumInts(deg)%2 != 0 {
+			deg[0]--
+		}
+		g, err := rrgFromDegrees(rng, deg)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range alloc {
+			g.SetServers(i, s)
+		}
+		return g, nil
+	}, fractions)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rrgPts, ftPts, nil
+}

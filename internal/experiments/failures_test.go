@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rrg"
+)
+
+func TestFailureSweepDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow-solver experiment; skipped in -short")
+	}
+	o := Options{Quick: true, Runs: 2, Seed: 5}
+	pts, err := FailureSweep(o, func(rng *rand.Rand) (*graph.Graph, error) {
+		g, err := rrg.Regular(rng, 20, 6)
+		if err != nil {
+			return nil, err
+		}
+		for u := 0; u < g.N(); u++ {
+			g.SetServers(u, 3)
+		}
+		return g, nil
+	}, []float64{0, 0.05, 0.15, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Throughput != 1 {
+		t.Fatalf("zero-failure point normalized to %v", pts[0].Throughput)
+	}
+	// Monotone degradation (up to small noise).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Throughput > pts[i-1].Throughput*1.1 {
+			t.Fatalf("throughput rose with more failures: %+v", pts)
+		}
+	}
+	// Graceful: 5% failures should not halve throughput on a degree-6 RRG.
+	if pts[1].Throughput < 0.5 {
+		t.Fatalf("5%% failures collapsed throughput to %v", pts[1].Throughput)
+	}
+	// 30% failures hurt but rarely disconnect a degree-6 expander.
+	if pts[3].Disconnected > 1 {
+		t.Fatalf("degree-6 RRG disconnected in %d/2 runs at 30%%", pts[3].Disconnected)
+	}
+}
+
+func TestRRGVsFatTreeFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow-solver experiment; skipped in -short")
+	}
+	o := Options{Quick: true, Runs: 2, Seed: 5}
+	rrgPts, ftPts, err := RRGVsFatTreeFailures(o, 4, []float64{0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrgPts) != 2 || len(ftPts) != 2 {
+		t.Fatal("bad sweep lengths")
+	}
+	if rrgPts[0].Absolute <= 0 || ftPts[0].Absolute <= 0 {
+		t.Fatal("zero baseline throughput")
+	}
+	// Both should retain positive throughput at 10% failures unless
+	// disconnected; the RRG should not degrade catastrophically more
+	// than the fat-tree.
+	if rrgPts[1].Disconnected == 0 && rrgPts[1].Throughput < 0.3 {
+		t.Fatalf("RRG lost %v of throughput at 10%% failures", 1-rrgPts[1].Throughput)
+	}
+}
+
+func TestGraphFailureHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := rrg.Regular(rng, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WithoutLinks removes exactly the requested links.
+	ng, err := g.WithoutLinks([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.NumLinks() != g.NumLinks()-2 {
+		t.Fatalf("links %d, want %d", ng.NumLinks(), g.NumLinks()-2)
+	}
+	if _, err := g.WithoutLinks([]int{999}); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	// FailRandomLinks at 0 is a clone; at 1 leaves at least one link.
+	same, err := g.FailRandomLinks(rng, 0)
+	if err != nil || same.NumLinks() != g.NumLinks() {
+		t.Fatalf("frac=0 changed the graph: %v", err)
+	}
+	one, err := g.FailRandomLinks(rng, 1)
+	if err != nil || one.NumLinks() < 1 {
+		t.Fatalf("frac=1 left %d links (err %v)", one.NumLinks(), err)
+	}
+}

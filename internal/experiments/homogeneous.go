@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rrg"
+)
+
+// homPoint measures RRG throughput relative to the Theorem 1 + ASPL-bound
+// cap for one (N, r, workload, serversPerSwitch) point.
+func homPoint(o Options, n, r int, w core.Workload, serversPerSwitch int) (mean, std float64, err error) {
+	ev := core.Evaluation{
+		Workload: w,
+		Runs:     o.Runs,
+		Seed:     o.Seed + int64(n*1000+r),
+		Epsilon:  o.Epsilon,
+		Parallel: o.Parallel,
+	}
+	st, err := ev.Throughput(func(rng *rand.Rand) (*graph.Graph, error) {
+		g, err := rrg.Regular(rng, n, r)
+		if err != nil {
+			return nil, err
+		}
+		for u := 0; u < n; u++ {
+			g.SetServers(u, serversPerSwitch)
+		}
+		return g, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var f int
+	switch w {
+	case core.AllToAll:
+		s := n * serversPerSwitch
+		f = s * (s - 1)
+	default:
+		f = n * serversPerSwitch
+	}
+	ub := bounds.ThroughputUpperBound(n, r, f)
+	return st.Mean / ub, st.Std / ub, nil
+}
+
+// Fig1a: throughput of RRGs relative to the upper bound as density grows
+// (N = 40 switches, degree sweep) for all-to-all and two permutation
+// workloads.
+func Fig1a(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	const n = 40
+	degrees := []int{3, 5, 7, 9, 11, 13, 15, 17, 19, 23, 27, 33}
+	if o.Quick {
+		degrees = []int{5, 11, 19, 27, 33}
+	}
+	fig := &Figure{
+		ID: "1a", Title: "Random graphs vs. throughput bound (N=40)",
+		XLabel: "Network Degree", YLabel: "Throughput (Ratio to Upper-bound)",
+	}
+	curves := []struct {
+		label string
+		w     core.Workload
+		sps   int
+	}{
+		{"All to All", core.AllToAll, 1},
+		{"Permutation (10 Servers per switch)", core.Permutation, 10},
+		{"Permutation (5 Servers per switch)", core.Permutation, 5},
+	}
+	for _, c := range curves {
+		s := Series{Label: c.label}
+		for _, r := range degrees {
+			mean, std, err := homPoint(o, n, r, c.w, c.sps)
+			if err != nil {
+				return nil, fmt.Errorf("fig1a r=%d: %w", r, err)
+			}
+			s.X = append(s.X, float64(r))
+			s.Y = append(s.Y, mean)
+			s.Err = append(s.Err, std)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// asplSeries measures RRG average shortest path length and the Cerf et al.
+// lower bound across a parameter sweep.
+func asplSeries(o Options, pts []struct{ n, r int }, x func(i int) float64) (obs, bound Series, err error) {
+	obs = Series{Label: "Observed ASPL"}
+	bound = Series{Label: "ASPL lower-bound"}
+	for i, p := range pts {
+		var sum, ss float64
+		runs := o.Runs
+		vals := make([]float64, 0, runs)
+		for run := 0; run < runs; run++ {
+			rng := rand.New(rand.NewSource(o.Seed*7919 + int64(1000*p.n+p.r) + int64(run)))
+			g, err := rrg.Regular(rng, p.n, p.r)
+			if err != nil {
+				return obs, bound, err
+			}
+			a, _ := g.ASPL()
+			vals = append(vals, a)
+			sum += a
+		}
+		mean := sum / float64(len(vals))
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		obs.X = append(obs.X, x(i))
+		obs.Y = append(obs.Y, mean)
+		bound.X = append(bound.X, x(i))
+		bound.Y = append(bound.Y, bounds.ASPLLowerBound(p.n, p.r))
+	}
+	return obs, bound, nil
+}
+
+// Fig1b: ASPL of RRGs vs. the lower bound at N=40 across degrees.
+func Fig1b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	degrees := []int{3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 16, 18, 20, 23, 26, 29, 33}
+	if o.Quick {
+		degrees = []int{3, 6, 10, 16, 23, 33}
+	}
+	pts := make([]struct{ n, r int }, len(degrees))
+	for i, r := range degrees {
+		pts[i] = struct{ n, r int }{40, r}
+	}
+	obs, bound, err := asplSeries(o, pts, func(i int) float64 { return float64(degrees[i]) })
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "1b", Title: "ASPL vs. lower bound (N=40)",
+		XLabel: "Network Degree", YLabel: "Path Length",
+		Series: []Series{obs, bound},
+	}, nil
+}
+
+// Fig2a: throughput ratio to bound as size grows (degree fixed at 10).
+func Fig2a(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	sizes := []int{15, 20, 30, 40, 60, 80, 100, 130, 160, 200}
+	if o.Quick {
+		sizes = []int{15, 30, 60, 100}
+	}
+	const r = 10
+	fig := &Figure{
+		ID: "2a", Title: "Random graphs vs. throughput bound (degree=10)",
+		XLabel: "Network Size", YLabel: "Throughput (Ratio to Upper-bound)",
+	}
+	curves := []struct {
+		label string
+		w     core.Workload
+		sps   int
+	}{
+		{"All to All", core.AllToAll, 1},
+		{"Permutation (10 Servers per switch)", core.Permutation, 10},
+		{"Permutation (5 Servers per switch)", core.Permutation, 5},
+	}
+	for _, c := range curves {
+		s := Series{Label: c.label}
+		for _, n := range sizes {
+			if c.w == core.AllToAll && n > 100 {
+				// The paper notes its simulator does not scale for
+				// all-to-all at large N; we follow the same cutoff.
+				continue
+			}
+			mean, std, err := homPoint(o, n, r, c.w, c.sps)
+			if err != nil {
+				return nil, fmt.Errorf("fig2a n=%d: %w", n, err)
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, mean)
+			s.Err = append(s.Err, std)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig2b: ASPL of RRGs vs. the lower bound as size grows (degree=10).
+func Fig2b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	sizes := []int{15, 20, 30, 40, 60, 80, 101, 120, 140, 160, 180, 200}
+	if o.Quick {
+		sizes = []int{15, 40, 101, 160, 200}
+	}
+	pts := make([]struct{ n, r int }, len(sizes))
+	for i, n := range sizes {
+		pts[i] = struct{ n, r int }{n, 10}
+	}
+	obs, bound, err := asplSeries(o, pts, func(i int) float64 { return float64(sizes[i]) })
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
+		ID: "2b", Title: "ASPL vs. lower bound (degree=10)",
+		XLabel: "Network Size", YLabel: "Path Length",
+		Series: []Series{obs, bound},
+	}, nil
+}
+
+// Fig3: the "curved step" behavior of the ASPL bound at degree 4, and the
+// observed/bound ratio approaching 1 as N grows. The paper's x-tics
+// (17, 53, 161, 485, 1457) are the sizes where the bound opens new
+// distance levels.
+func Fig3(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	sizes := []int{9, 13, 17, 25, 37, 53, 77, 109, 161, 233, 337, 485, 701, 1009, 1457}
+	if o.Quick {
+		sizes = []int{17, 53, 161, 485}
+	}
+	const r = 4
+	runs := o.Runs
+	if runs > 5 {
+		runs = 5 // ASPL variance is tiny; the paper notes σ ≪ 1%
+	}
+	obs := Series{Label: "Observed ASPL"}
+	bound := Series{Label: "ASPL lower-bound"}
+	ratio := Series{Label: "Ratio"}
+	for _, n := range sizes {
+		var sum float64
+		for run := 0; run < runs; run++ {
+			rng := rand.New(rand.NewSource(o.Seed*104729 + int64(n) + int64(run)))
+			g, err := rrg.Regular(rng, n, r)
+			if err != nil {
+				return nil, err
+			}
+			a, _ := g.ASPL()
+			sum += a
+		}
+		mean := sum / float64(runs)
+		b := bounds.ASPLLowerBound(n, r)
+		obs.X = append(obs.X, float64(n))
+		obs.Y = append(obs.Y, mean)
+		bound.X = append(bound.X, float64(n))
+		bound.Y = append(bound.Y, b)
+		ratio.X = append(ratio.X, float64(n))
+		ratio.Y = append(ratio.Y, mean/b)
+	}
+	return &Figure{
+		ID: "3", Title: "ASPL vs. lower bound (degree=4), step behavior",
+		XLabel: "Network Size (log scale)", YLabel: "Path Length / Ratio",
+		Series: []Series{obs, bound, ratio},
+	}, nil
+}

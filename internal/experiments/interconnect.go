@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hetero"
+	"repro/internal/rrg"
+)
+
+// crossRatioXs is the Fig. 6/7 x grid (cross-cluster links as a ratio to
+// the vanilla-random expectation).
+func crossRatioXs(quick bool) []float64 {
+	if quick {
+		return []float64{0.2, 0.5, 1.0, 1.5, 2.0}
+	}
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0}
+}
+
+// sweepCrossRatio evaluates one cross-cluster connectivity curve with the
+// server distribution held fixed, normalized to the curve's peak.
+func sweepCrossRatio(o Options, label string, base hetero.Config, xs []float64) (Series, error) {
+	s := Series{Label: label}
+	var raw []float64
+	for _, x := range xs {
+		cfg := base
+		cfg.CrossRatio = x
+		mean, std, err := heteroPoint(o, cfg, labelSeed(label)+int64(x*1000))
+		if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			return s, fmt.Errorf("%s x=%v: %w", label, x, err)
+		}
+		s.X = append(s.X, x)
+		raw = append(raw, mean)
+		s.Err = append(s.Err, std)
+	}
+	normalizePeak(&s, raw)
+	return s, nil
+}
+
+// proportionalConfig returns base with the port-proportional server split.
+func proportionalConfig(base hetero.Config) hetero.Config {
+	base.ServersPerLarge, base.ServersPerSmall = -1, -1
+	base.ServerRatio = 1
+	return base
+}
+
+// Fig6a: cross-cluster connectivity sweep for three port ratios, servers
+// distributed proportionally. The paper's headline: throughput is stable
+// at its peak across a wide range of cross-cluster connectivity, dropping
+// only when the cut becomes the bottleneck.
+func Fig6a(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID: "6a", Title: "Cross-cluster connectivity vs. throughput (port ratios)",
+		XLabel: "Cross-cluster Links (Ratio to Expected Under Random Connection)",
+		YLabel: "Normalized Throughput",
+	}
+	for _, c := range []struct {
+		label      string
+		portsSmall int
+	}{
+		{"3:1 Port-ratio", 10},
+		{"2:1 Port-ratio", 15},
+		{"3:2 Port-ratio", 20},
+	} {
+		base := proportionalConfig(hetero.Config{
+			NumLarge: 20, NumSmall: 40,
+			PortsLarge: 30, PortsSmall: c.portsSmall,
+			Servers: serversForPool(20*30 + 40*c.portsSmall),
+		})
+		s, err := sweepCrossRatio(o, c.label, base, crossRatioXs(o.Quick))
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig6b: cross-cluster sweep with varying small-switch counts.
+func Fig6b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID: "6b", Title: "Cross-cluster connectivity vs. throughput (switch counts)",
+		XLabel: "Cross-cluster Links (Ratio to Expected Under Random Connection)",
+		YLabel: "Normalized Throughput",
+	}
+	for _, nSmall := range []int{20, 30, 40} {
+		base := proportionalConfig(hetero.Config{
+			NumLarge: 20, NumSmall: nSmall,
+			PortsLarge: 30, PortsSmall: 20,
+			Servers: serversForPool(20*30 + nSmall*20),
+		})
+		s, err := sweepCrossRatio(o, fmt.Sprintf("%d Smaller Switches", nSmall), base, crossRatioXs(o.Quick))
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig6c: cross-cluster sweep with 300/500/700 servers (oversubscription).
+func Fig6c(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID: "6c", Title: "Cross-cluster connectivity vs. throughput (oversubscription)",
+		XLabel: "Cross-cluster Links (Ratio to Expected Under Random Connection)",
+		YLabel: "Normalized Throughput",
+	}
+	for _, servers := range []int{300, 500, 700} {
+		base := proportionalConfig(hetero.Config{
+			NumLarge: 20, NumSmall: 30,
+			PortsLarge: 30, PortsSmall: 20,
+			Servers: servers,
+		})
+		s, err := sweepCrossRatio(o, fmt.Sprintf("%d Servers", servers), base, crossRatioXs(o.Quick))
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// fig7 runs the joint (server split × cross-cluster) sweep for explicit
+// per-switch server counts.
+func fig7(o Options, id string, portsSmall int, splits [][2]int) (*Figure, error) {
+	fig := &Figure{
+		ID: id, Title: "Joint server-distribution and interconnect sweep",
+		XLabel: "Cross-cluster Links (Ratio to Expected Under Random Connection)",
+		YLabel: "Normalized Throughput",
+	}
+	// Normalize the whole family by the global peak so the figure shows
+	// which split wins, as in the paper.
+	type curve struct {
+		s   Series
+		raw []float64
+	}
+	var curves []curve
+	var peak float64
+	for _, split := range splits {
+		label := fmt.Sprintf("%dH, %dL", split[0], split[1])
+		base := hetero.Config{
+			NumLarge: 20, NumSmall: 40,
+			PortsLarge: 30, PortsSmall: portsSmall,
+			ServersPerLarge: split[0], ServersPerSmall: split[1],
+		}
+		s := Series{Label: label}
+		var raw []float64
+		for _, x := range crossRatioXs(o.Quick) {
+			cfg := base
+			cfg.CrossRatio = x
+			mean, std, err := heteroPoint(o, cfg, labelSeed(label)+int64(x*1000))
+			if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s x=%v: %w", label, x, err)
+			}
+			s.X = append(s.X, x)
+			raw = append(raw, mean)
+			s.Err = append(s.Err, std)
+			if mean > peak {
+				peak = mean
+			}
+		}
+		curves = append(curves, curve{s, raw})
+	}
+	for _, c := range curves {
+		if peak > 0 {
+			c.s.Y = make([]float64, len(c.raw))
+			for i, v := range c.raw {
+				c.s.Y[i] = v / peak
+				c.s.Err[i] /= peak
+			}
+		} else {
+			c.s.Y = c.raw
+		}
+		fig.Series = append(fig.Series, c.s)
+	}
+	return fig, nil
+}
+
+// Fig7a: joint sweep, 20 large (30-port) and 40 small (10-port) switches;
+// five server splits totalling 400 servers. Proportional placement
+// ("12H, 4L") with a vanilla random interconnect (x=1) should be among
+// the optimal configurations.
+func Fig7a(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	return fig7(o, "7a", 10, [][2]int{{16, 2}, {14, 3}, {12, 4}, {10, 5}, {8, 6}})
+}
+
+// Fig7b: joint sweep, 20 large (30-port) and 40 small (20-port) switches;
+// five splits totalling 560 servers ("14H, 7L" is proportional).
+func Fig7b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	return fig7(o, "7b", 20, [][2]int{{22, 3}, {18, 5}, {14, 7}, {10, 9}, {6, 11}})
+}

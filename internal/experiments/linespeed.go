@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hetero"
+	"repro/internal/rrg"
+)
+
+// fig8Base is the §5.2 equipment pool: 20 large switches with 40 low
+// line-speed ports each, 20 small switches with 15 low line-speed ports
+// each; large switches additionally carry high line-speed links among
+// themselves.
+func fig8Base() hetero.Config {
+	return hetero.Config{
+		NumLarge: 20, NumSmall: 20,
+		PortsLarge: 40, PortsSmall: 15,
+	}
+}
+
+// Fig8a: server splits under mixed line-speeds. 3 extra 10× links per
+// large switch; five server distributions sharing one total; cross-cluster
+// sweep. The paper's finding: multiple configurations are near-optimal.
+func Fig8a(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID: "8a", Title: "Mixed line-speeds: server splits × interconnect",
+		XLabel: "Cross-cluster Links (Ratio to Expected Under Random Connection)",
+		YLabel: "Normalized Throughput",
+	}
+	xs := crossRatioXs(o.Quick)
+	var peak float64
+	type curve struct {
+		s   Series
+		raw []float64
+	}
+	var curves []curve
+	for _, split := range [][2]int{{36, 7}, {35, 8}, {34, 9}, {33, 10}, {32, 11}} {
+		label := fmt.Sprintf("%dH, %dL", split[0], split[1])
+		base := fig8Base()
+		base.ServersPerLarge, base.ServersPerSmall = split[0], split[1]
+		base.HighLinksPerLarge, base.HighCap = 3, 10
+		s := Series{Label: label}
+		var raw []float64
+		for _, x := range xs {
+			cfg := base
+			cfg.CrossRatio = x
+			mean, std, err := heteroPoint(o, cfg, labelSeed(label)+int64(x*1000))
+			if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fig8a %s x=%v: %w", label, x, err)
+			}
+			s.X = append(s.X, x)
+			raw = append(raw, mean)
+			s.Err = append(s.Err, std)
+			if mean > peak {
+				peak = mean
+			}
+		}
+		curves = append(curves, curve{s, raw})
+	}
+	for _, c := range curves {
+		normalizeBy(&c.s, c.raw, peak)
+		fig.Series = append(fig.Series, c.s)
+	}
+	return fig, nil
+}
+
+// normalizeBy rescales a series by an external reference value.
+func normalizeBy(s *Series, raw []float64, ref float64) {
+	if ref == 0 {
+		s.Y = append([]float64(nil), raw...)
+		return
+	}
+	s.Y = make([]float64, len(raw))
+	for i, v := range raw {
+		s.Y[i] = v / ref
+		if i < len(s.Err) {
+			s.Err[i] /= ref
+		}
+	}
+}
+
+// fig8ServerSplit is the fixed proportional-ish split used by Fig. 8b/8c.
+var fig8ServerSplit = [2]int{34, 9}
+
+// fig8bc sweeps cross-cluster connectivity for several (count, speed)
+// settings of the high line-speed links. All curves are normalized by the
+// weakest setting's value at x = 1, so the benefit of extra high-speed
+// capacity is visible (y can exceed 1), as in the paper.
+func fig8bc(o Options, id, title string, settings []struct {
+	label string
+	count int
+	speed float64
+}) (*Figure, error) {
+	fig := &Figure{
+		ID: id, Title: title,
+		XLabel: "Cross-cluster Links (Ratio to Expected Under Random Connection)",
+		YLabel: "Normalized Throughput",
+	}
+	xs := crossRatioXs(o.Quick)
+	type curve struct {
+		s   Series
+		raw []float64
+	}
+	var curves []curve
+	var ref float64
+	for si, set := range settings {
+		base := fig8Base()
+		base.ServersPerLarge, base.ServersPerSmall = fig8ServerSplit[0], fig8ServerSplit[1]
+		base.HighLinksPerLarge, base.HighCap = set.count, set.speed
+		s := Series{Label: set.label}
+		var raw []float64
+		for _, x := range xs {
+			cfg := base
+			cfg.CrossRatio = x
+			mean, std, err := heteroPoint(o, cfg, labelSeed(set.label)+int64(x*1000))
+			if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s %s x=%v: %w", id, set.label, x, err)
+			}
+			s.X = append(s.X, x)
+			raw = append(raw, mean)
+			s.Err = append(s.Err, std)
+			if si == 0 && x == 1.0 {
+				ref = mean
+			}
+		}
+		curves = append(curves, curve{s, raw})
+	}
+	if ref == 0 && len(curves) > 0 { // quick grids may miss x=1.0 exactly
+		for _, v := range curves[0].raw {
+			if v > ref {
+				ref = v
+			}
+		}
+	}
+	for _, c := range curves {
+		normalizeBy(&c.s, c.raw, ref)
+		fig.Series = append(fig.Series, c.s)
+	}
+	return fig, nil
+}
+
+// Fig8b: varying the high line-speed (2×, 4×, 8×) with 6 high-speed links
+// per large switch.
+func Fig8b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	return fig8bc(o, "8b", "Mixed line-speeds: varying high line-speed (6 H-links)",
+		[]struct {
+			label string
+			count int
+			speed float64
+		}{
+			{"High-speed = 2", 6, 2},
+			{"High-speed = 4", 6, 4},
+			{"High-speed = 8", 6, 8},
+		})
+}
+
+// Fig8c: varying the number of high-speed links (3/6/9) at speed 4×.
+func Fig8c(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	return fig8bc(o, "8c", "Mixed line-speeds: varying high-speed link count (speed 4)",
+		[]struct {
+			label string
+			count int
+			speed float64
+		}{
+			{"3 H-links", 3, 4},
+			{"6 H-links", 6, 4},
+			{"9 H-links", 9, 4},
+		})
+}

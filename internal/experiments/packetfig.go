@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/packet"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Fig13: packet-level MPTCP throughput vs. the flow-level optimum on the
+// rewired VL2 topology, under random permutation traffic. Topologies are
+// deliberately oversubscribed (ToR count ≈ 1.3× the full-throughput point)
+// so the flow value is close to but below 1, exposing any routing or
+// congestion-control inefficiency, as in §8.2.
+//
+// The paper's curve uses DI = 28 with DA from 6 to 18; the quick grid
+// shrinks to DI = 16, DA up to 12 and fewer servers per ToR to bound the
+// event count.
+func Fig13(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	di := 28
+	das := []int{6, 8, 10, 12, 14, 16, 18}
+	serversPerToR := 20
+	subflows := 8
+	warmup, measure := 60.0, 240.0
+	if o.Quick {
+		di = 16
+		das = []int{6, 8, 10}
+		subflows = 4
+		warmup, measure = 40, 160
+	}
+	runs := o.Runs
+	if runs > 5 {
+		runs = 5 // packet simulations dominate runtime
+	}
+	flowS := Series{Label: "Flow-level"}
+	pktS := Series{Label: "Packet-level"}
+	for _, da := range das {
+		cfg := topo.VL2Config{DA: da, DI: di, ServersPerToR: serversPerToR}
+		// Size at ~1.3x the designed full-throughput point so λ < 1 and
+		// transport inefficiency is visible.
+		tors := cfg.NumToRs() + cfg.NumToRs()/3
+		if tors < 3 {
+			tors = 3
+		}
+		var flowSum, pktSum float64
+		n := 0
+		for run := 0; run < runs; run++ {
+			rng := rand.New(rand.NewSource(o.Seed*131 + int64(da*100+run)))
+			g, err := topo.RewiredVL2(rng, cfg, tors)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 DA=%d: %w", da, err)
+			}
+			h := traffic.HostsOf(g)
+			tm := traffic.Permutation(rng, h)
+			res, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: o.Epsilon})
+			if err != nil {
+				return nil, err
+			}
+			pr, err := simulatePermutation(g, tm, subflows, warmup, measure, rng)
+			if err != nil {
+				return nil, err
+			}
+			flowSum += capAtOne(res.Throughput)
+			pktSum += capAtOne(pr)
+			n++
+		}
+		flowS.X = append(flowS.X, float64(da))
+		flowS.Y = append(flowS.Y, flowSum/float64(n))
+		pktS.X = append(pktS.X, float64(da))
+		pktS.Y = append(pktS.Y, pktSum/float64(n))
+	}
+	return &Figure{
+		ID: "13", Title: fmt.Sprintf("Packet-level MPTCP vs. flow-level optimum (DI=%d)", di),
+		XLabel: "Aggregation Switch Degree", YLabel: "Normalized Throughput",
+		Series: []Series{flowS, pktS},
+	}, nil
+}
+
+func capAtOne(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// simulatePermutation runs the packet simulator on the switch-level
+// commodities of a permutation TM and returns the mean per-unit-demand
+// goodput. A commodity of demand d (d colocated server pairs) is simulated
+// as d parallel transport flows, so fairness granularity matches the
+// server-level traffic.
+func simulatePermutation(g *graph.Graph, tm *traffic.Matrix, subflows int, warmup, measure float64, rng *rand.Rand) (float64, error) {
+	var specs []packet.FlowSpec
+	for _, f := range tm.Flows {
+		for k := 0; k < int(f.Demand); k++ {
+			specs = append(specs, packet.FlowSpec{Src: f.Src, Dst: f.Dst})
+		}
+	}
+	res, err := packet.Simulate(g, specs, packet.Config{
+		SubflowsPerFlow: subflows,
+		Warmup:          warmup,
+		Measure:         measure,
+	}, rng)
+	if err != nil {
+		return 0, err
+	}
+	return res.MeanGoodput, nil
+}
+
+// PacketVsFlow compares packet- and flow-level throughput on an arbitrary
+// topology, exposed for the packetsim example and the ablation benches.
+func PacketVsFlow(g *graph.Graph, eps float64, subflows int, seed int64) (flowT, packetT float64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	h := traffic.HostsOf(g)
+	tm := traffic.Permutation(rng, h)
+	res, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: eps})
+	if err != nil {
+		return 0, 0, err
+	}
+	pr, err := simulatePermutation(g, tm, subflows, 60, 240, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Throughput, pr, nil
+}

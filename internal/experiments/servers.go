@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hetero"
+	"repro/internal/rrg"
+)
+
+// serverRatioXs is the Fig. 4 x grid (ratio of servers-at-large-switches
+// to the port-proportional expectation).
+func serverRatioXs(quick bool) []float64 {
+	if quick {
+		return []float64{0.4, 0.7, 1.0, 1.3, 1.6}
+	}
+	return []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4}
+}
+
+// sweepServerRatio evaluates one Fig. 4 curve: throughput across server
+// placement ratios, normalized by the curve's peak.
+func sweepServerRatio(o Options, label string, base hetero.Config) (Series, error) {
+	s := Series{Label: label}
+	var raw []float64
+	for _, x := range serverRatioXs(o.Quick) {
+		cfg := base
+		cfg.ServersPerLarge, cfg.ServersPerSmall = -1, -1
+		cfg.ServerRatio = x
+		mean, std, err := heteroPoint(o, cfg, labelSeed(label))
+		if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
+			continue // this ratio is not physically realizable
+		}
+		if err != nil {
+			return s, fmt.Errorf("%s x=%v: %w", label, x, err)
+		}
+		s.X = append(s.X, x)
+		raw = append(raw, mean)
+		s.Err = append(s.Err, std)
+	}
+	normalizePeak(&s, raw)
+	return s, nil
+}
+
+// heteroPoint measures mean/std throughput of a hetero.Config.
+func heteroPoint(o Options, cfg hetero.Config, seedMix int64) (float64, float64, error) {
+	ev := core.Evaluation{
+		Workload: core.Permutation,
+		Runs:     o.Runs,
+		Seed:     o.Seed + seedMix,
+		Epsilon:  o.Epsilon,
+		Parallel: o.Parallel,
+	}
+	// Build errors are deterministic in cfg, so probe once to separate
+	// infeasible sweep points from real failures.
+	if _, err := hetero.Build(rand.New(rand.NewSource(1)), cfg); err != nil {
+		return 0, 0, err
+	}
+	st, err := ev.Throughput(func(rng *rand.Rand) (*graph.Graph, error) {
+		return hetero.Build(rng, cfg)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.Mean, st.Std, nil
+}
+
+// normalizePeak rescales Y (from raw) and Err so the curve's peak is 1.
+func normalizePeak(s *Series, raw []float64) {
+	var peak float64
+	for _, v := range raw {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak == 0 {
+		s.Y = append([]float64(nil), raw...)
+		return
+	}
+	s.Y = make([]float64, len(raw))
+	for i, v := range raw {
+		s.Y[i] = v / peak
+		if i < len(s.Err) {
+			s.Err[i] /= peak
+		}
+	}
+}
+
+func labelSeed(label string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range label {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % 1_000_000
+}
+
+// Fig4a: distributing servers across switch types — port ratios 3:1, 2:1,
+// 3:2 with 20 large and 40 small switches. Peak expected at x = 1
+// (port-proportional placement).
+func Fig4a(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID: "4a", Title: "Server distribution vs. throughput (port ratios)",
+		XLabel: "Number of Servers at Large Switches (Ratio to Expected Under Random Distribution)",
+		YLabel: "Normalized Throughput",
+	}
+	cases := []struct {
+		label      string
+		portsSmall int
+	}{
+		{"3:1 Port-ratio", 10},
+		{"2:1 Port-ratio", 15},
+		{"3:2 Port-ratio", 20},
+	}
+	for _, c := range cases {
+		base := hetero.Config{
+			NumLarge: 20, NumSmall: 40,
+			PortsLarge: 30, PortsSmall: c.portsSmall,
+			Servers: serversForPool(20*30 + 40*c.portsSmall),
+		}
+		s, err := sweepServerRatio(o, c.label, base)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// serversForPool picks a server count leaving roughly 55% of ports for the
+// network, a mid-oversubscription operating point.
+func serversForPool(totalPorts int) int {
+	return int(0.45 * float64(totalPorts))
+}
+
+// Fig4b: server distribution with varying counts of small switches.
+func Fig4b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID: "4b", Title: "Server distribution vs. throughput (switch counts)",
+		XLabel: "Number of Servers at Large Switches (Ratio to Expected Under Random Distribution)",
+		YLabel: "Normalized Throughput",
+	}
+	for _, nSmall := range []int{20, 30, 40} {
+		base := hetero.Config{
+			NumLarge: 20, NumSmall: nSmall,
+			PortsLarge: 30, PortsSmall: 20,
+			Servers: serversForPool(20*30 + nSmall*20),
+		}
+		s, err := sweepServerRatio(o, fmt.Sprintf("%d Small Switches", nSmall), base)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig4c: server distribution with varying oversubscription (480/510/540
+// servers on 20 large 30-port and 30 small 20-port switches).
+func Fig4c(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID: "4c", Title: "Server distribution vs. throughput (oversubscription)",
+		XLabel: "Number of Servers at Large Switches (Ratio to Expected Under Random Distribution)",
+		YLabel: "Normalized Throughput",
+	}
+	for _, servers := range []int{480, 510, 540} {
+		base := hetero.Config{
+			NumLarge: 20, NumSmall: 30,
+			PortsLarge: 30, PortsSmall: 20,
+			Servers: servers,
+		}
+		s, err := sweepServerRatio(o, fmt.Sprintf("%d Servers", servers), base)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig5: power-law port counts; servers attached in proportion to
+// degree^beta. The paper finds beta = 1 (proportional) among the optimal
+// settings, with a broad optimum through beta ≈ 1.4.
+func Fig5(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	betas := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6}
+	if o.Quick {
+		betas = []float64{0, 0.5, 1.0, 1.4}
+	}
+	fig := &Figure{
+		ID: "5", Title: "Power-law port counts: servers ∝ degree^β",
+		XLabel: "β", YLabel: "Normalized Throughput",
+	}
+	const nSwitches = 40
+	for _, avg := range []float64{6, 8, 10} {
+		label := fmt.Sprintf("Avg port-count %d", int(avg))
+		// One port sequence per average, shared across betas and runs so
+		// the curve isolates the effect of beta.
+		seqRng := rand.New(rand.NewSource(o.Seed*31 + int64(avg)))
+		// Cap the tail at min(2.5·avg, n/2): a port count near n would
+		// demand near-complete connectivity and leave no simple graph
+		// after servers are attached.
+		kmax := int(2.5 * avg)
+		if kmax > nSwitches/2 {
+			kmax = nSwitches / 2
+		}
+		ports, err := rrg.PowerLawDegrees(seqRng, nSwitches, avg, 2.2, 3, kmax)
+		if err != nil {
+			return nil, err
+		}
+		totalPorts := 0
+		for _, p := range ports {
+			totalPorts += p
+		}
+		servers := int(0.4 * float64(totalPorts))
+		s := Series{Label: label}
+		var raw []float64
+		for _, beta := range betas {
+			ev := core.Evaluation{
+				Workload: core.Permutation,
+				Runs:     o.Runs,
+				Seed:     o.Seed + int64(avg*100) + int64(beta*10),
+				Epsilon:  o.Epsilon,
+				Parallel: o.Parallel,
+			}
+			st, err := ev.Throughput(func(rng *rand.Rand) (*graph.Graph, error) {
+				return hetero.BuildPowerLaw(rng, ports, servers, beta)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig5 avg=%v beta=%v: %w", avg, beta, err)
+			}
+			s.X = append(s.X, beta)
+			raw = append(raw, st.Mean)
+			s.Err = append(s.Err, st.Std)
+		}
+		// The paper normalizes each curve to its β=1 value; x=1 is then
+		// directly comparable across curves.
+		var ref float64
+		for i, b := range betas {
+			if b == 1.0 {
+				ref = raw[i]
+			}
+		}
+		if ref == 0 {
+			normalizePeak(&s, raw)
+		} else {
+			s.Y = make([]float64, len(raw))
+			for i, v := range raw {
+				s.Y[i] = v / ref
+				s.Err[i] /= ref
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/rrg"
+	"repro/internal/spectral"
+	"repro/internal/traffic"
+)
+
+// Theorem2Point is one q-value of the §6.2 analysis on the restricted
+// model: two equal clusters of constant-degree nodes, cross-cluster
+// fraction q of the connectivity.
+type Theorem2Point struct {
+	CrossLinks  int
+	Throughput  float64 // max concurrent flow for the bipartite demand
+	SparsestCut float64 // non-uniform sparsest cut for K_{V1,V2} demand
+}
+
+// Theorem2Check instantiates the Theorem 2 setting — n nodes per cluster,
+// degree d, unit capacities, complete bipartite demand K_{V1,V2} — and
+// measures throughput and the sparsest-cut value across cross-cluster
+// budgets. Theorem 2 predicts two regimes: T(q) = Θ(q), tracking the
+// sparsest cut, until q* = Θ(p/⟨D⟩); beyond that a plateau within a
+// constant factor of the peak.
+func Theorem2Check(o Options, nPerCluster, degree int, crossBudgets []int) ([]Theorem2Point, error) {
+	o = o.withDefaults()
+	var out []Theorem2Point
+	for _, cross := range crossBudgets {
+		deg := make([]int, nPerCluster)
+		for i := range deg {
+			deg[i] = degree
+		}
+		x, err := rrg.FeasibleCross(cross, nPerCluster*degree, nPerCluster*degree)
+		if err != nil {
+			return nil, err
+		}
+		if x == 0 {
+			continue
+		}
+		var tSum, cutSum float64
+		runs := o.Runs
+		for run := 0; run < runs; run++ {
+			rng := rand.New(rand.NewSource(o.Seed*613 + int64(cross*100+run)))
+			g, err := rrg.TwoCluster(rng, rrg.TwoClusterSpec{
+				DegA: deg, DegB: deg, CrossLinks: x, LinkCap: 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("theorem2 cross=%d: %w", cross, err)
+			}
+			flows := bipartiteDemand(g, nPerCluster)
+			res, err := mcf.Solve(g, flows, mcf.Options{Epsilon: o.Epsilon})
+			if err != nil {
+				return nil, err
+			}
+			inV1 := make([]bool, g.N())
+			for i := 0; i < nPerCluster; i++ {
+				inV1[i] = true
+			}
+			tSum += res.Throughput
+			cutSum += spectral.SparsestCutBipartite(g, inV1)
+		}
+		out = append(out, Theorem2Point{
+			CrossLinks:  x,
+			Throughput:  tSum / float64(runs),
+			SparsestCut: cutSum / float64(runs),
+		})
+	}
+	return out, nil
+}
+
+// bipartiteDemand builds the K_{V1,V2} demand graph: one unit between every
+// cross-cluster ordered pair.
+func bipartiteDemand(g *graph.Graph, nPerCluster int) []traffic.Flow {
+	var flows []traffic.Flow
+	for u := 0; u < nPerCluster; u++ {
+		for v := nPerCluster; v < g.N(); v++ {
+			flows = append(flows,
+				traffic.Flow{Src: u, Dst: v, Demand: 1},
+				traffic.Flow{Src: v, Dst: u, Demand: 1},
+			)
+		}
+	}
+	return flows
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// Theorem 2's two regimes: throughput grows roughly linearly with the
+// cross-cluster budget while the cut binds, then plateaus. We check
+// (a) monotonicity up to noise, (b) the cut-bound regime at small q is
+// near-linear, and (c) the plateau: quadrupling q from an already-large
+// value gains little.
+func TestTheorem2Regimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow-solver experiment; skipped in -short")
+	}
+	o := Options{Quick: true, Runs: 2, Seed: 3}
+	// n=12 per cluster, degree 6: total stubs 72 per side.
+	pts, err := Theorem2Check(o, 12, 6, []int{4, 8, 16, 32, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 4 {
+		t.Fatalf("too few points: %d", len(pts))
+	}
+	// Throughput never decreases much with more cross links.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Throughput < 0.8*pts[i-1].Throughput {
+			t.Fatalf("throughput fell from %v to %v at cross=%d",
+				pts[i-1].Throughput, pts[i].Throughput, pts[i].CrossLinks)
+		}
+	}
+	// Cut-bound regime: doubling 4 -> 8 should roughly double throughput.
+	g01 := pts[1].Throughput / pts[0].Throughput
+	if g01 < 1.4 || g01 > 2.8 {
+		t.Fatalf("cut regime not linear: 2x cross gave %vx", g01)
+	}
+	// Plateau: 32 -> 48 should gain far less than proportionally.
+	last, prev := pts[len(pts)-1], pts[len(pts)-2]
+	gain := last.Throughput / prev.Throughput
+	if gain > 1.3 {
+		t.Fatalf("no plateau: 1.5x cross gave %vx at the top end", gain)
+	}
+	// Throughput is always bounded by the sparsest cut (Eq. 3 direction).
+	for _, p := range pts {
+		if p.Throughput > p.SparsestCut+1e-9 {
+			t.Fatalf("cross=%d: throughput %v exceeds sparsest cut %v",
+				p.CrossLinks, p.Throughput, p.SparsestCut)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/topo"
+)
+
+// fullThroughputThreshold is the λ above which a configuration counts as
+// "full throughput". The exact criterion is λ ≥ 1; because the flow solver
+// only underestimates λ (by at most ε), we subtract the solver slack so the
+// criterion is not biased against either topology. The same threshold is
+// applied to VL2 and to the rewired topology.
+func fullThroughputThreshold(epsilon float64) float64 {
+	return 1 - epsilon - 0.02
+}
+
+// vl2Builder attaches `tors` ToRs to a standard VL2 fabric (round-robin
+// over aggregation pairs), allowing under/oversubscription relative to the
+// designed DA·DI/4.
+func vl2Builder(cfg topo.VL2Config, tors int) core.Builder {
+	return func(rng *rand.Rand) (*graph.Graph, error) {
+		c := cfg
+		return vl2WithToRs(c, tors)
+	}
+}
+
+// vl2WithToRs builds VL2 with an arbitrary ToR count on the same fabric.
+func vl2WithToRs(cfg topo.VL2Config, tors int) (*graph.Graph, error) {
+	full, err := topo.VL2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	designed := cfg.NumToRs()
+	if tors == designed {
+		return full, nil
+	}
+	// Rebuild with the requested ToR count, keeping the agg-core fabric.
+	nAgg, nCore := cfg.NumAggs(), cfg.NumCores()
+	g := graph.New(tors + nAgg + nCore)
+	agg := func(i int) int { return tors + i }
+	core_ := func(i int) int { return tors + nAgg + i }
+	sp := cfg.ServersPerToR
+	if sp == 0 {
+		sp = 20
+	}
+	uc := cfg.UplinkCap
+	if uc == 0 {
+		uc = 10
+	}
+	for t := 0; t < tors; t++ {
+		g.SetClass(t, topo.ClassToR)
+		g.SetServers(t, sp)
+		a1 := (2 * t) % nAgg
+		a2 := (2*t + 1) % nAgg
+		g.AddLink(t, agg(a1), uc)
+		g.AddLink(t, agg(a2), uc)
+	}
+	for i := 0; i < nAgg; i++ {
+		g.SetClass(agg(i), topo.ClassAgg)
+		for j := 0; j < nCore; j++ {
+			g.AddLink(agg(i), core_(j), uc)
+		}
+	}
+	for j := 0; j < nCore; j++ {
+		g.SetClass(core_(j), topo.ClassCore)
+	}
+	return g, nil
+}
+
+// maxToRs runs the §7 binary search: the largest ToR count supported at
+// full throughput by builder(tors) under the workload. "Full throughput"
+// means every server-level flow gets its full fair share: 1 unit for
+// permutation/chunky traffic, 1/(S-1) for all-to-all among S servers.
+func maxToRs(o Options, w core.Workload, chunkyFrac float64, lo, hi int, serversPerToR int, build func(tors int) core.Builder, seedMix int64) (int, error) {
+	ev := core.Evaluation{
+		Workload:       w,
+		ChunkyFraction: chunkyFrac,
+		Runs:           o.Runs,
+		Seed:           o.Seed + seedMix,
+		Epsilon:        o.Epsilon,
+		Parallel:       o.Parallel,
+	}
+	base := fullThroughputThreshold(o.Epsilon)
+	threshold := func(size int) float64 {
+		if w == core.AllToAll {
+			s := size * serversPerToR
+			if s > 1 {
+				return base / float64(s-1)
+			}
+		}
+		return base
+	}
+	return ev.MaxAtFullThroughput(lo, hi, threshold, build)
+}
+
+// fig12aGrid returns the (DA, DI) grid for Fig. 12a/12c.
+func fig12aGrid(quick bool) (das []int, dis []int) {
+	if quick {
+		return []int{6, 10, 14}, []int{16}
+	}
+	return []int{6, 8, 10, 12, 14, 16, 18, 20}, []int{16, 20, 24, 28}
+}
+
+// Fig12a: servers supported at full throughput by the rewired topology,
+// as a ratio over VL2, across DA and DI. Both sides are measured with the
+// same solver and threshold; VL2's measured capacity is the denominator.
+func Fig12a(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	das, dis := fig12aGrid(o.Quick)
+	fig := &Figure{
+		ID: "12a", Title: "Rewired VL2: servers at full throughput (ratio over VL2)",
+		XLabel: "Aggregation Switch Degree (DA)", YLabel: "Servers at Full Throughput (Ratio Over VL2)",
+	}
+	for _, di := range dis {
+		s := Series{Label: fmt.Sprintf("%d Agg Switches (DI=%d)", di, di)}
+		for _, da := range das {
+			ratio, err := rewiredOverVL2(o, core.Permutation, 0, da, di, int64(12100+da*100+di))
+			if err != nil {
+				return nil, fmt.Errorf("fig12a DA=%d DI=%d: %w", da, di, err)
+			}
+			s.X = append(s.X, float64(da))
+			s.Y = append(s.Y, ratio)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// rewiredOverVL2 measures max ToRs at full throughput for both topologies
+// and returns rewired/VL2.
+func rewiredOverVL2(o Options, w core.Workload, chunkyFrac float64, da, di int, seedMix int64) (float64, error) {
+	cfg := topo.VL2Config{DA: da, DI: di}
+	designed := cfg.NumToRs()
+	hi := designed*2 + 4
+	vl2Max, err := maxToRs(o, w, chunkyFrac, 1, hi, 20, func(tors int) core.Builder {
+		return vl2Builder(cfg, tors)
+	}, seedMix)
+	if err != nil {
+		return 0, err
+	}
+	rewMax, err := maxToRs(o, w, chunkyFrac, 1, hi, 20, func(tors int) core.Builder {
+		return func(rng *rand.Rand) (*graph.Graph, error) {
+			return topo.RewiredVL2(rng, cfg, tors)
+		}
+	}, seedMix+7)
+	if err != nil {
+		return 0, err
+	}
+	if vl2Max < 1 {
+		return 0, fmt.Errorf("VL2 DA=%d DI=%d supports no ToRs at threshold", da, di)
+	}
+	return float64(rewMax) / float64(vl2Max), nil
+}
+
+// Fig12b: throughput of the rewired topology under x% Chunky traffic, at
+// the sizes found for permutation traffic (DI = 28 in the paper; the quick
+// grid uses DI = 16).
+func Fig12b(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	di := 28
+	das := []int{6, 8, 10, 12, 14, 16, 18}
+	if o.Quick {
+		di = 16
+		das = []int{6, 10, 14}
+	}
+	fig := &Figure{
+		ID: "12b", Title: fmt.Sprintf("Rewired VL2 under chunky traffic (DI=%d)", di),
+		XLabel: "Aggregation Switch Degree (DA)", YLabel: "Normalized Throughput",
+	}
+	fractions := []float64{0.2, 0.6, 1.0}
+	for _, frac := range fractions {
+		s := Series{Label: fmt.Sprintf("%d%% Chunky", int(frac*100))}
+		for _, da := range das {
+			cfg := topo.VL2Config{DA: da, DI: di}
+			// Size the topology at its permutation-full-throughput point.
+			tors, err := maxToRs(o, core.Permutation, 0, 1, cfg.NumToRs()*2+4, 20, func(t int) core.Builder {
+				return func(rng *rand.Rand) (*graph.Graph, error) {
+					return topo.RewiredVL2(rng, cfg, t)
+				}
+			}, int64(12200+da))
+			if err != nil {
+				return nil, err
+			}
+			if tors < 2 {
+				continue
+			}
+			ev := core.Evaluation{
+				Workload: core.Chunky, ChunkyFraction: frac,
+				Runs: o.Runs, Seed: o.Seed + int64(12250+da), Epsilon: o.Epsilon, Parallel: o.Parallel,
+			}
+			st, err := ev.Throughput(func(rng *rand.Rand) (*graph.Graph, error) {
+				return topo.RewiredVL2(rng, cfg, tors)
+			})
+			if err != nil {
+				return nil, err
+			}
+			y := st.Mean
+			if y > 1 {
+				y = 1 // full throughput; demands are 1 unit per server
+			}
+			s.X = append(s.X, float64(da))
+			s.Y = append(s.Y, y)
+			s.Err = append(s.Err, st.Std)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig12c: the Fig. 12a search repeated under all-to-all and 100% chunky
+// traffic. Gains shrink for chunky but remain positive; all-to-all is
+// easier to route than both.
+func Fig12c(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	di := 20
+	das := []int{6, 8, 10, 12, 14, 16, 18, 20}
+	if o.Quick {
+		di = 16
+		das = []int{6, 10}
+	}
+	fig := &Figure{
+		ID: "12c", Title: fmt.Sprintf("Rewired VL2 under other workloads (DI=%d)", di),
+		XLabel: "Aggregation Switch Degree (DA)", YLabel: "Servers at Full Throughput (Ratio Over VL2)",
+	}
+	cases := []struct {
+		label string
+		w     core.Workload
+		frac  float64
+	}{
+		{"All-to-All Traffic", core.AllToAll, 0},
+		{"Permutation Traffic", core.Permutation, 0},
+		{"100% Chunky Traffic", core.Chunky, 1.0},
+	}
+	for ci, c := range cases {
+		s := Series{Label: c.label}
+		for _, da := range das {
+			ratio, err := rewiredOverVL2(o, c.w, c.frac, da, di, int64(12300+ci*997+da))
+			if err != nil {
+				return nil, fmt.Errorf("fig12c %s DA=%d: %w", c.label, da, err)
+			}
+			s.X = append(s.X, float64(da))
+			s.Y = append(s.Y, ratio)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT format. Nodes are labeled with
+// their index, class, and server count; links with their capacity.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", name)
+	for u := 0; u < g.n; u++ {
+		fmt.Fprintf(&b, "  n%d [label=\"%d c%d s%d\"];\n", u, u, g.class[u], g.servers[u])
+	}
+	for id := 0; id < g.NumLinks(); id++ {
+		u, v := g.LinkEnds(id)
+		fmt.Fprintf(&b, "  n%d -- n%d [label=\"%g\"];\n", u, v, g.LinkCapacity(id))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// jsonGraph is the serialized form used by MarshalJSON/UnmarshalJSON and by
+// the flowsolve command.
+type jsonGraph struct {
+	N       int        `json:"n"`
+	Servers []int      `json:"servers,omitempty"`
+	Class   []int      `json:"class,omitempty"`
+	Links   []jsonLink `json:"links"`
+}
+
+type jsonLink struct {
+	U   int     `json:"u"`
+	V   int     `json:"v"`
+	Cap float64 `json:"cap"`
+}
+
+// MarshalJSON serializes the graph.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{N: g.n, Servers: g.servers, Class: g.class}
+	for id := 0; id < g.NumLinks(); id++ {
+		u, v := g.LinkEnds(id)
+		jg.Links = append(jg.Links, jsonLink{U: u, V: v, Cap: g.LinkCapacity(id)})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON deserializes a graph produced by MarshalJSON.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	ng := New(jg.N)
+	for i, s := range jg.Servers {
+		if i < jg.N {
+			ng.SetServers(i, s)
+		}
+	}
+	for i, c := range jg.Class {
+		if i < jg.N {
+			ng.SetClass(i, c)
+		}
+	}
+	for _, l := range jg.Links {
+		if l.U < 0 || l.U >= jg.N || l.V < 0 || l.V >= jg.N || l.U == l.V || l.Cap <= 0 {
+			return fmt.Errorf("graph: invalid link %+v", l)
+		}
+		ng.AddLink(l.U, l.V, l.Cap)
+	}
+	*g = *ng
+	return nil
+}

@@ -1,0 +1,95 @@
+package hetero
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rrg"
+)
+
+// BuildPowerLaw constructs the Fig. 5 scenario: switches with the given
+// port counts (typically power-law distributed), with servers attached to
+// switch i in proportion to ports[i]^beta (largest-remainder rounding) and
+// a uniform random graph over the remaining ports.
+//
+// Every switch retains at least one network port; if the beta-weighted
+// allocation would exceed a switch's capacity, the surplus spills to the
+// switches with the most free ports (the paper: "appropriate distribution
+// of servers is applied by rounding where necessary").
+func BuildPowerLaw(rng *rand.Rand, ports []int, servers int, beta float64) (*graph.Graph, error) {
+	n := len(ports)
+	if n == 0 {
+		return nil, fmt.Errorf("hetero: no switches")
+	}
+	alloc, err := PowerServerAllocation(ports, servers, beta)
+	if err != nil {
+		return nil, err
+	}
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = ports[i] - alloc[i]
+	}
+	if sum(deg)%2 != 0 {
+		deg[argmax(deg)]--
+	}
+	g, err := rrg.FromDegrees(rng, deg, 1)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range alloc {
+		g.SetServers(i, s)
+	}
+	return g, nil
+}
+
+// PowerServerAllocation apportions servers to switches proportionally to
+// ports[i]^beta, capping each switch at ports[i]-1 so it keeps a network
+// port, and spilling any excess to the switches with the most headroom.
+func PowerServerAllocation(ports []int, servers int, beta float64) ([]int, error) {
+	n := len(ports)
+	capacity := 0
+	weights := make([]float64, n)
+	var wsum float64
+	for i, p := range ports {
+		if p < 2 {
+			return nil, fmt.Errorf("hetero: switch %d has only %d ports", i, p)
+		}
+		capacity += p - 1
+		weights[i] = math.Pow(float64(p), beta)
+		wsum += weights[i]
+	}
+	if servers > capacity {
+		return nil, fmt.Errorf("hetero: %d servers exceed capacity %d", servers, capacity)
+	}
+	if wsum == 0 {
+		return nil, fmt.Errorf("hetero: zero total weight")
+	}
+	alloc := make([]int, n)
+	type frac struct {
+		i int
+		f float64
+	}
+	var fr []frac
+	assigned := 0
+	for i := range ports {
+		exact := float64(servers) * weights[i] / wsum
+		alloc[i] = int(exact)
+		if m := ports[i] - 1; alloc[i] > m {
+			alloc[i] = m
+		}
+		assigned += alloc[i]
+		fr = append(fr, frac{i, exact - float64(alloc[i])})
+	}
+	sort.Slice(fr, func(a, b int) bool { return fr[a].f > fr[b].f })
+	for k := 0; assigned < servers; k = (k + 1) % n {
+		i := fr[k].i
+		if alloc[i] < ports[i]-1 {
+			alloc[i]++
+			assigned++
+		}
+	}
+	return alloc, nil
+}

@@ -1,0 +1,104 @@
+package mcf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rrg"
+	"repro/internal/traffic"
+)
+
+// Property: measured throughput never exceeds the Theorem 1 bound
+// evaluated with the *observed* ASPL (which is exact, unlike d*).
+func TestThroughputRespectsTheorem1(t *testing.T) {
+	f := func(seed int64, rRaw uint8) bool {
+		n := 16
+		r := int(rRaw%4) + 3
+		rng := rand.New(rand.NewSource(seed))
+		g, err := rrg.Regular(rng, n, r)
+		if err != nil {
+			return true
+		}
+		for u := 0; u < n; u++ {
+			g.SetServers(u, 2)
+		}
+		h := traffic.HostsOf(g)
+		tm := traffic.Permutation(rng, h)
+		if len(tm.Flows) == 0 {
+			return true
+		}
+		res, err := Solve(g, tm.Flows, Options{Epsilon: 0.1})
+		if err != nil {
+			return false
+		}
+		// Bound with the demand-weighted SPL of this very instance; use
+		// the total network demand as f.
+		f := tm.TotalDemand()
+		if f == 0 || res.DemandSPL == 0 {
+			return true
+		}
+		ub := g.TotalCapacity() / (res.DemandSPL * f)
+		return res.Throughput <= ub+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: throughput never exceeds the two-cluster cut bound (Eq. 1's
+// second term) on biased two-cluster instances.
+func TestThroughputRespectsCutBound(t *testing.T) {
+	f := func(seed int64, xRaw uint8) bool {
+		const nA, nB, d = 8, 8, 4
+		deg := make([]int, nA)
+		for i := range deg {
+			deg[i] = d
+		}
+		x, err := rrg.FeasibleCross(int(xRaw%20)+2, nA*d, nB*d)
+		if err != nil || x == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g, err := rrg.TwoCluster(rng, rrg.TwoClusterSpec{DegA: deg, DegB: deg, CrossLinks: x, LinkCap: 1})
+		if err != nil {
+			return true
+		}
+		for u := 0; u < g.N(); u++ {
+			g.SetServers(u, 2)
+		}
+		h := traffic.HostsOf(g)
+		tm := traffic.Permutation(rng, h)
+		res, err := Solve(g, tm.Flows, Options{Epsilon: 0.1})
+		if err != nil {
+			return true // disconnected permutations etc.
+		}
+		mask := make([]bool, g.N())
+		for i := 0; i < nA; i++ {
+			mask[i] = true
+		}
+		aspl, ok := g.ASPL()
+		if !ok {
+			return true
+		}
+		// The Eq. 1 bound holds only in expectation over the permutation's
+		// cross-cluster flow count; the per-instance cut bound uses the
+		// actual cross demand.
+		var crossDemand float64
+		for _, fl := range tm.Flows {
+			if mask[fl.Src] != mask[fl.Dst] {
+				crossDemand += fl.Demand
+			}
+		}
+		if crossDemand == 0 {
+			return true
+		}
+		cutBound := g.CrossCapacity(mask) / crossDemand
+		pathBound := g.TotalCapacity() / (aspl * tm.TotalDemand())
+		_ = pathBound // informational; the cut bound is the sharp one here
+		return res.Throughput <= cutBound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

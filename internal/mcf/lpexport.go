@@ -1,0 +1,93 @@
+package mcf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// WriteLP emits the maximum concurrent flow problem as a CPLEX LP-format
+// file, exactly the artifact the authors' TopoBench generates and feeds
+// to CPLEX (§3). This allows cross-validation of this repository's
+// approximate solver against any external LP solver:
+//
+//	maximize t
+//	s.t.  flow conservation per (commodity, node)
+//	      Σ_j f_j(a) ≤ cap(a)           per arc a
+//	      net outflow of commodity j at its source ≥ t·demand_j
+//
+// Variables: f_<j>_<a> is commodity j's flow on directed arc a; t is the
+// concurrent throughput. All variables are continuous and non-negative.
+func WriteLP(w io.Writer, g *graph.Graph, flows []traffic.Flow) error {
+	bw := bufio.NewWriter(w)
+	if len(flows) == 0 {
+		return fmt.Errorf("mcf: no commodities to export")
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst || f.Demand <= 0 {
+			return fmt.Errorf("mcf: invalid commodity %+v", f)
+		}
+	}
+
+	fmt.Fprintln(bw, "\\ Maximum concurrent multi-commodity flow")
+	fmt.Fprintf(bw, "\\ %d nodes, %d arcs, %d commodities\n", g.N(), g.NumArcs(), len(flows))
+	fmt.Fprintln(bw, "Maximize")
+	fmt.Fprintln(bw, " obj: t")
+	fmt.Fprintln(bw, "Subject To")
+
+	// Demand satisfaction: source net outflow ≥ t·demand.
+	for j, f := range flows {
+		fmt.Fprintf(bw, " demand_%d:", j)
+		for _, a := range g.OutArcs(f.Src) {
+			fmt.Fprintf(bw, " + f_%d_%d", j, a)
+		}
+		for a := 0; a < g.NumArcs(); a++ {
+			if int(g.Arc(a).To) == f.Src {
+				fmt.Fprintf(bw, " - f_%d_%d", j, a)
+			}
+		}
+		fmt.Fprintf(bw, " - %g t >= 0\n", f.Demand)
+	}
+
+	// Conservation at interior nodes.
+	for j, f := range flows {
+		for v := 0; v < g.N(); v++ {
+			if v == f.Src || v == f.Dst {
+				continue
+			}
+			fmt.Fprintf(bw, " cons_%d_%d:", j, v)
+			wrote := false
+			for _, a := range g.OutArcs(v) {
+				fmt.Fprintf(bw, " + f_%d_%d", j, a)
+				wrote = true
+			}
+			for a := 0; a < g.NumArcs(); a++ {
+				if int(g.Arc(a).To) == v {
+					fmt.Fprintf(bw, " - f_%d_%d", j, a)
+					wrote = true
+				}
+			}
+			if !wrote {
+				fmt.Fprint(bw, " 0 f_0_0")
+			}
+			fmt.Fprintln(bw, " = 0")
+		}
+	}
+
+	// Arc capacities.
+	for a := 0; a < g.NumArcs(); a++ {
+		fmt.Fprintf(bw, " cap_%d:", a)
+		for j := range flows {
+			fmt.Fprintf(bw, " + f_%d_%d", j, a)
+		}
+		fmt.Fprintf(bw, " <= %g\n", g.Arc(a).Cap)
+	}
+
+	fmt.Fprintln(bw, "Bounds")
+	fmt.Fprintln(bw, " t >= 0")
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}

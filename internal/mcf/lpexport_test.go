@@ -1,0 +1,79 @@
+package mcf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+func TestWriteLPStructure(t *testing.T) {
+	g := graph.New(3)
+	g.AddLink(0, 1, 1)   // arcs 0,1
+	g.AddLink(1, 2, 2.5) // arcs 2,3
+	flows := []traffic.Flow{{Src: 0, Dst: 2, Demand: 1}, {Src: 2, Dst: 0, Demand: 2}}
+	var sb strings.Builder
+	if err := WriteLP(&sb, g, flows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Maximize",
+		"obj: t",
+		"Subject To",
+		"demand_0:", "demand_1:",
+		"- 1 t >= 0", "- 2 t >= 0",
+		"cons_0_1:", // interior node of commodity 0
+		"cap_0:", "cap_3:",
+		"<= 2.5",
+		"Bounds",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("LP missing %q:\n%s", want, out)
+		}
+	}
+	// One capacity row per arc.
+	if got := strings.Count(out, "cap_"); got != g.NumArcs() {
+		t.Fatalf("%d capacity rows, want %d", got, g.NumArcs())
+	}
+	// One conservation row per (commodity, interior node).
+	if got := strings.Count(out, "cons_"); got != 2*1 {
+		t.Fatalf("%d conservation rows, want 2", got)
+	}
+}
+
+func TestWriteLPErrors(t *testing.T) {
+	g := graph.New(2)
+	g.AddLink(0, 1, 1)
+	var sb strings.Builder
+	if err := WriteLP(&sb, g, nil); err == nil {
+		t.Fatal("empty commodity list accepted")
+	}
+	if err := WriteLP(&sb, g, []traffic.Flow{{Src: 0, Dst: 0, Demand: 1}}); err == nil {
+		t.Fatal("self commodity accepted")
+	}
+}
+
+// The LP and the approximate solver describe the same problem: for an
+// instance with a known optimum, the demand rows must reference every
+// out-arc of the source and the solver must approach the LP's optimal t.
+func TestWriteLPConsistentWithSolver(t *testing.T) {
+	g := graph.New(3)
+	g.AddLink(0, 1, 1)
+	g.AddLink(1, 2, 1)
+	flows := []traffic.Flow{{Src: 0, Dst: 1, Demand: 1}, {Src: 0, Dst: 2, Demand: 1}}
+	var sb strings.Builder
+	if err := WriteLP(&sb, g, flows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(g, flows, Options{Epsilon: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LP optimum is 0.5 (shared arc 0->1); GK must be within epsilon-ish.
+	if res.Throughput < 0.45 || res.Throughput > 0.5+1e-9 {
+		t.Fatalf("solver %v vs LP optimum 0.5", res.Throughput)
+	}
+}

@@ -1,0 +1,280 @@
+// Package mcf computes the paper's throughput metric: the maximum
+// concurrent multi-commodity flow (the largest λ such that every commodity
+// j can ship λ·demand_j simultaneously without exceeding any link
+// capacity). This is the "maximize the minimum flow" LP of §3, which the
+// paper solves with CPLEX.
+//
+// Substitution: instead of an LP solver we use the Garg–Könemann
+// fully-polynomial approximation scheme with Fleischer-style source
+// batching. The returned throughput is certified feasible — the final flow
+// is explicitly scaled by its maximum congestion, so Result.Throughput is
+// always achievable — and is within the configured ε of the LP optimum
+// (validated against closed-form optima in the tests).
+package mcf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// Options configures the solver.
+type Options struct {
+	// Epsilon is the approximation parameter; smaller is more accurate and
+	// slower. Values in [0.02, 0.2] are sensible; 0 means DefaultEpsilon.
+	Epsilon float64
+	// MaxPhases caps the number of Garg–Könemann phases as a safety valve.
+	// 0 means no explicit cap (the length-function stopping rule applies).
+	MaxPhases int
+}
+
+// DefaultEpsilon is used when Options.Epsilon is zero.
+const DefaultEpsilon = 0.08
+
+// ErrUnreachable is returned when some commodity's endpoints are not
+// connected, so no positive concurrent throughput exists.
+var ErrUnreachable = errors.New("mcf: commodity endpoints disconnected")
+
+// Result reports the solved flow and the decomposition metrics of §6.1.
+type Result struct {
+	// Throughput is λ: every commodity can ship λ·demand concurrently.
+	Throughput float64
+	// ArcFlow is the certified-feasible per-arc flow (indexed like
+	// graph arc indices), after congestion scaling.
+	ArcFlow []float64
+	// ArcUtil is ArcFlow[a]/cap(a) per arc, in [0, 1].
+	ArcUtil []float64
+	// Utilization is total flow volume over total capacity — the paper's U.
+	Utilization float64
+	// FlowPathLen is the average hop length of routed flow, weighted by
+	// flow volume.
+	FlowPathLen float64
+	// DemandSPL is the demand-weighted average shortest path length
+	// between commodity endpoints.
+	DemandSPL float64
+	// Stretch is FlowPathLen/DemandSPL — the paper's AS (≥ 1).
+	Stretch float64
+	// Phases is the number of completed Garg–Könemann phases.
+	Phases int
+}
+
+// Solve computes the maximum concurrent flow for the commodities in flows
+// on graph g.
+func Solve(g *graph.Graph, flows []traffic.Flow, opt Options) (*Result, error) {
+	eps := opt.Epsilon
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	if eps >= 0.5 {
+		return nil, fmt.Errorf("mcf: epsilon %v too large", eps)
+	}
+	if len(flows) == 0 {
+		return &Result{Throughput: math.Inf(1), Stretch: 1}, nil
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst || f.Demand <= 0 {
+			return nil, fmt.Errorf("mcf: invalid commodity %+v", f)
+		}
+	}
+
+	s := newState(g, flows, eps)
+	if err := s.checkReachability(); err != nil {
+		return nil, err
+	}
+	maxPhases := opt.MaxPhases
+	if maxPhases <= 0 {
+		maxPhases = math.MaxInt32
+	}
+	for s.sumLenCap() < 1 && s.phases < maxPhases {
+		s.runPhase()
+	}
+	return s.result(), nil
+}
+
+// state holds the working data of one solve.
+type state struct {
+	g     *graph.Graph
+	eps   float64
+	m     int       // arc count
+	caps  []float64 // per-arc capacity
+	lens  []float64 // GK length function
+	flow  []float64 // raw accumulated per-arc flow
+	bySrc map[int][]int
+	srcs  []int // sorted keys of bySrc, for deterministic iteration
+	flows []traffic.Flow
+	// routed[j] is the total demand routed so far for commodity j.
+	routed []float64
+	// volume-weighted path length accumulator.
+	volLen, vol float64
+	phases      int
+}
+
+func newState(g *graph.Graph, flows []traffic.Flow, eps float64) *state {
+	m := g.NumArcs()
+	s := &state{
+		g:      g,
+		eps:    eps,
+		m:      m,
+		caps:   make([]float64, m),
+		lens:   make([]float64, m),
+		flow:   make([]float64, m),
+		bySrc:  make(map[int][]int),
+		flows:  flows,
+		routed: make([]float64, len(flows)),
+	}
+	delta := (1 + eps) * math.Pow((1+eps)*float64(m), -1/eps)
+	for a := 0; a < m; a++ {
+		s.caps[a] = g.Arc(a).Cap
+		s.lens[a] = delta / s.caps[a]
+	}
+	for j, f := range flows {
+		s.bySrc[f.Src] = append(s.bySrc[f.Src], j)
+	}
+	for src := range s.bySrc {
+		s.srcs = append(s.srcs, src)
+	}
+	sort.Ints(s.srcs)
+	return s
+}
+
+func (s *state) checkReachability() error {
+	// One BFS per distinct source suffices.
+	for _, src := range s.srcs {
+		js := s.bySrc[src]
+		dist := s.g.BFS(src)
+		for _, j := range js {
+			if dist[s.flows[j].Dst] < 0 {
+				return fmt.Errorf("%w: %d -> %d", ErrUnreachable, src, s.flows[j].Dst)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *state) sumLenCap() float64 {
+	var d float64
+	for a := 0; a < s.m; a++ {
+		d += s.lens[a] * s.caps[a]
+	}
+	return d
+}
+
+// runPhase routes each commodity's full demand once under the current
+// length function. Commodities sharing a source reuse one Dijkstra tree
+// for their first piece (Fleischer-style batching); residual demand after
+// a capacity-limited piece triggers a fresh Dijkstra.
+func (s *state) runPhase() {
+	for _, src := range s.srcs {
+		js := s.bySrc[src]
+		_, via := s.g.Dijkstra(src, s.lens)
+		for _, j := range js {
+			remaining := s.flows[j].Demand
+			first := true
+			for remaining > 0 {
+				if !first {
+					_, via = s.g.Dijkstra(src, s.lens)
+				}
+				path := s.walkPath(via, s.flows[j].Dst)
+				if path == nil {
+					// Should be impossible after checkReachability.
+					break
+				}
+				bottleneck := math.Inf(1)
+				for _, a := range path {
+					if s.caps[a] < bottleneck {
+						bottleneck = s.caps[a]
+					}
+				}
+				u := math.Min(remaining, bottleneck)
+				for _, a := range path {
+					s.flow[a] += u
+					s.lens[a] *= 1 + s.eps*u/s.caps[a]
+				}
+				s.routed[j] += u
+				s.volLen += u * float64(len(path))
+				s.vol += u
+				remaining -= u
+				first = false
+			}
+		}
+	}
+	s.phases++
+}
+
+// walkPath returns the arc sequence from the Dijkstra root to dst, or nil
+// if dst was unreachable.
+func (s *state) walkPath(via []int32, dst int) []int32 {
+	if via[dst] < 0 {
+		return nil
+	}
+	var rev []int32
+	at := int32(dst)
+	for via[at] >= 0 {
+		a := via[at]
+		rev = append(rev, a)
+		at = s.g.Arc(int(a)).From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func (s *state) result() *Result {
+	res := &Result{
+		ArcFlow: make([]float64, s.m),
+		ArcUtil: make([]float64, s.m),
+		Phases:  s.phases,
+	}
+	// Maximum congestion certifies feasibility after scaling.
+	var chi float64
+	for a := 0; a < s.m; a++ {
+		if c := s.flow[a] / s.caps[a]; c > chi {
+			chi = c
+		}
+	}
+	if chi == 0 {
+		return res
+	}
+	minRatio := math.Inf(1)
+	for j := range s.flows {
+		if r := s.routed[j] / s.flows[j].Demand; r < minRatio {
+			minRatio = r
+		}
+	}
+	res.Throughput = minRatio / chi
+	var totalFlow, totalCap float64
+	for a := 0; a < s.m; a++ {
+		res.ArcFlow[a] = s.flow[a] / chi
+		res.ArcUtil[a] = res.ArcFlow[a] / s.caps[a]
+		totalFlow += res.ArcFlow[a]
+		totalCap += s.caps[a]
+	}
+	res.Utilization = totalFlow / totalCap
+	if s.vol > 0 {
+		res.FlowPathLen = s.volLen / s.vol
+	}
+	// Demand-weighted shortest path length (hops).
+	var dsum, dtot float64
+	distCache := make(map[int][]int)
+	for _, f := range s.flows {
+		dist, ok := distCache[f.Src]
+		if !ok {
+			dist = s.g.BFS(f.Src)
+			distCache[f.Src] = dist
+		}
+		dsum += float64(dist[f.Dst]) * f.Demand
+		dtot += f.Demand
+	}
+	if dtot > 0 {
+		res.DemandSPL = dsum / dtot
+	}
+	if res.DemandSPL > 0 {
+		res.Stretch = res.FlowPathLen / res.DemandSPL
+	}
+	return res
+}

@@ -1,0 +1,52 @@
+package mcf
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/rrg"
+	"repro/internal/traffic"
+)
+
+func TestPerfScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf scale test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []struct {
+		n, r, sps int
+		eps       float64
+	}{
+		{40, 10, 10, 0.1}, {40, 10, 10, 0.05}, {200, 10, 5, 0.1},
+	} {
+		g, err := rrg.Regular(rng, cfg.n, cfg.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.N(); u++ {
+			g.SetServers(u, cfg.sps)
+		}
+		h := traffic.HostsOf(g)
+		tm := traffic.Permutation(rng, h)
+		start := time.Now()
+		res, err := Solve(g, tm.Flows, Options{Epsilon: cfg.eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("n=%d r=%d sps=%d eps=%.2f: T=%.4f phases=%d in %v", cfg.n, cfg.r, cfg.sps, cfg.eps, res.Throughput, res.Phases, time.Since(start))
+	}
+	// all-to-all at N=40
+	g, _ := rrg.Regular(rng, 40, 10)
+	for u := 0; u < g.N(); u++ {
+		g.SetServers(u, 5)
+	}
+	h := traffic.HostsOf(g)
+	tm := traffic.AllToAll(h)
+	start := time.Now()
+	res, err := Solve(g, tm.Flows, Options{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("all-to-all n=40: T=%.5f phases=%d commodities=%d in %v", res.Throughput, res.Phases, len(tm.Flows), time.Since(start))
+}

@@ -1,0 +1,142 @@
+// Package routing provides static multipath routing models as a baseline
+// against the optimal-flow throughput of package mcf. The paper's flow
+// model assumes optimal splitting (§3); real deployments run ECMP-style
+// equal splitting over shortest paths, and §8.2 shows MPTCP over shortest
+// paths approaches the optimum. This package quantifies the gap on the
+// static side: throughput when every commodity splits its demand equally
+// across its shortest paths.
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// ECMPResult reports equal-split shortest-path routing throughput.
+type ECMPResult struct {
+	// Throughput is the largest λ such that scaling every commodity's
+	// equal-split load by λ respects all arc capacities.
+	Throughput float64
+	// ArcLoad is the per-arc load at λ = 1 (demands at face value).
+	ArcLoad []float64
+	// Bottleneck is the arc index attaining the capacity ratio.
+	Bottleneck int
+	// PathsPerFlow is the average number of shortest paths used.
+	PathsPerFlow float64
+}
+
+// maxPathsPerCommodity caps path enumeration per commodity; beyond this
+// many equal-cost paths the split is effectively fluid anyway.
+const maxPathsPerCommodity = 64
+
+// ECMP computes equal-split shortest-path routing for the commodities.
+// Every commodity enumerates up to maxPathsPerCommodity shortest paths
+// (all of minimal hop count) and splits its demand equally across them.
+func ECMP(g *graph.Graph, flows []traffic.Flow) (*ECMPResult, error) {
+	load := make([]float64, g.NumArcs())
+	var totalPaths int
+	for _, f := range flows {
+		if f.Src == f.Dst || f.Demand <= 0 {
+			return nil, fmt.Errorf("routing: invalid commodity %+v", f)
+		}
+		paths := g.ShortestPathDAGPaths(f.Src, f.Dst, maxPathsPerCommodity)
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("routing: no path %d -> %d", f.Src, f.Dst)
+		}
+		share := f.Demand / float64(len(paths))
+		for _, p := range paths {
+			for _, a := range p {
+				load[a] += share
+			}
+		}
+		totalPaths += len(paths)
+	}
+	res := &ECMPResult{ArcLoad: load, Bottleneck: -1, Throughput: math.Inf(1)}
+	for a := 0; a < g.NumArcs(); a++ {
+		if load[a] == 0 {
+			continue
+		}
+		if ratio := g.Arc(a).Cap / load[a]; ratio < res.Throughput {
+			res.Throughput = ratio
+			res.Bottleneck = a
+		}
+	}
+	if res.Bottleneck < 0 {
+		res.Throughput = math.Inf(1)
+	}
+	if len(flows) > 0 {
+		res.PathsPerFlow = float64(totalPaths) / float64(len(flows))
+	}
+	return res, nil
+}
+
+// VLB computes Valiant load balancing throughput: every commodity routes
+// via a two-phase spread over all intermediate nodes (the routing scheme
+// underlying VL2's design), splitting demand equally across n two-segment
+// routes src → w → dst, each segment taking equal-split shortest paths.
+// This is the classical oblivious-routing baseline.
+func VLB(g *graph.Graph, flows []traffic.Flow) (*ECMPResult, error) {
+	n := g.N()
+	load := make([]float64, g.NumArcs())
+	// Precompute per-source shortest-path DAG loads lazily: for segment
+	// (s, w) we spread 1 unit over its shortest paths.
+	segCache := make(map[[2]int][]float64)
+	segLoad := func(s, d int) ([]float64, error) {
+		if s == d {
+			return nil, nil
+		}
+		key := [2]int{s, d}
+		if l, ok := segCache[key]; ok {
+			return l, nil
+		}
+		paths := g.ShortestPathDAGPaths(s, d, maxPathsPerCommodity)
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("routing: no path %d -> %d", s, d)
+		}
+		l := make([]float64, g.NumArcs())
+		share := 1.0 / float64(len(paths))
+		for _, p := range paths {
+			for _, a := range p {
+				l[a] += share
+			}
+		}
+		segCache[key] = l
+		return l, nil
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst || f.Demand <= 0 {
+			return nil, fmt.Errorf("routing: invalid commodity %+v", f)
+		}
+		per := f.Demand / float64(n)
+		for w := 0; w < n; w++ {
+			for _, seg := range [][2]int{{f.Src, w}, {w, f.Dst}} {
+				l, err := segLoad(seg[0], seg[1])
+				if err != nil {
+					return nil, err
+				}
+				for a, v := range l {
+					if v != 0 {
+						load[a] += per * v
+					}
+				}
+			}
+		}
+	}
+	res := &ECMPResult{ArcLoad: load, Bottleneck: -1, Throughput: math.Inf(1)}
+	for a := 0; a < g.NumArcs(); a++ {
+		if load[a] == 0 {
+			continue
+		}
+		if ratio := g.Arc(a).Cap / load[a]; ratio < res.Throughput {
+			res.Throughput = ratio
+			res.Bottleneck = a
+		}
+	}
+	if res.Bottleneck < 0 {
+		res.Throughput = math.Inf(1)
+	}
+	return res, nil
+}

@@ -1,0 +1,163 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/rrg"
+	"repro/internal/traffic"
+)
+
+func TestECMPSingleLink(t *testing.T) {
+	g := graph.New(2)
+	g.AddLink(0, 1, 1)
+	res, err := ECMP(g, []traffic.Flow{{Src: 0, Dst: 1, Demand: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput != 1 {
+		t.Fatalf("throughput %v", res.Throughput)
+	}
+	if res.PathsPerFlow != 1 {
+		t.Fatalf("paths per flow %v", res.PathsPerFlow)
+	}
+}
+
+func TestECMPDiamondSplitsEvenly(t *testing.T) {
+	g := graph.New(4)
+	g.AddLink(0, 1, 1)
+	g.AddLink(1, 3, 1)
+	g.AddLink(0, 2, 1)
+	g.AddLink(2, 3, 1)
+	res, err := ECMP(g, []traffic.Flow{{Src: 0, Dst: 3, Demand: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two equal-cost paths, each carrying 1 on unit arcs: λ = 1.
+	if math.Abs(res.Throughput-1) > 1e-12 {
+		t.Fatalf("throughput %v, want 1", res.Throughput)
+	}
+	if res.PathsPerFlow != 2 {
+		t.Fatalf("paths %v", res.PathsPerFlow)
+	}
+}
+
+func TestECMPWorseThanOptimalOnAsymmetry(t *testing.T) {
+	// Two paths of different length: ECMP uses only the shortest (1 hop),
+	// optimal flow uses both. Commodity demand 2 on cap-1 links.
+	g := graph.New(3)
+	g.AddLink(0, 2, 1) // direct
+	g.AddLink(0, 1, 1)
+	g.AddLink(1, 2, 1) // detour
+	flows := []traffic.Flow{{Src: 0, Dst: 2, Demand: 2}}
+	er, err := ECMP(g, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(er.Throughput-0.5) > 1e-12 {
+		t.Fatalf("ECMP throughput %v, want 0.5 (direct path only)", er.Throughput)
+	}
+	opt, err := mcf.Solve(g, flows, mcf.Options{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Throughput <= er.Throughput+0.2 {
+		t.Fatalf("optimal %v should clearly beat ECMP %v here", opt.Throughput, er.Throughput)
+	}
+}
+
+func TestECMPNeverBeatsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		g, err := rrg.Regular(rng, 16, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.N(); u++ {
+			g.SetServers(u, 2)
+		}
+		tm := traffic.Permutation(rng, traffic.HostsOf(g))
+		er, err := ECMP(g, tm.Flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// GK underestimates by ≤ε, so allow that much slack.
+		if er.Throughput > opt.Throughput/(1-0.06)+1e-9 {
+			t.Fatalf("ECMP %v beat optimal %v", er.Throughput, opt.Throughput)
+		}
+		// On RRGs ECMP over all shortest paths should be competitive
+		// (the §8.2 story): within a factor ~2 of optimal.
+		if er.Throughput < opt.Throughput/2.5 {
+			t.Fatalf("ECMP %v far below optimal %v", er.Throughput, opt.Throughput)
+		}
+	}
+}
+
+func TestECMPErrors(t *testing.T) {
+	g := graph.New(3)
+	g.AddLink(0, 1, 1)
+	if _, err := ECMP(g, []traffic.Flow{{Src: 0, Dst: 2, Demand: 1}}); err == nil {
+		t.Fatal("unreachable accepted")
+	}
+	if _, err := ECMP(g, []traffic.Flow{{Src: 0, Dst: 0, Demand: 1}}); err == nil {
+		t.Fatal("self flow accepted")
+	}
+}
+
+func TestVLBOnCompleteGraph(t *testing.T) {
+	// K4 with one commodity: VLB spreads over 4 intermediates (two of
+	// which are the endpoints themselves).
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddLink(i, j, 1)
+		}
+	}
+	res, err := VLB(g, []traffic.Flow{{Src: 0, Dst: 1, Demand: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 || math.IsInf(res.Throughput, 1) {
+		t.Fatalf("VLB throughput %v", res.Throughput)
+	}
+	// Direct arc 0->1 carries: w=0 and w=1 both route via the direct
+	// link (1/4 each + shortest-path splits) — load must be positive.
+	if res.ArcLoad[0] <= 0 {
+		t.Fatal("direct arc unused by VLB")
+	}
+}
+
+func TestVLBvsECMPOnPermutation(t *testing.T) {
+	// VLB is oblivious: on an RRG with permutation traffic it should be
+	// within a constant factor of ECMP but not beat optimal.
+	rng := rand.New(rand.NewSource(7))
+	g, err := rrg.Regular(rng, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		g.SetServers(u, 2)
+	}
+	tm := traffic.Permutation(rng, traffic.HostsOf(g))
+	vr, err := VLB(g, tm.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Throughput <= 0 {
+		t.Fatalf("VLB throughput %v", vr.Throughput)
+	}
+	opt, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Throughput > opt.Throughput/(1-0.06)+1e-9 {
+		t.Fatalf("VLB %v beat optimal %v", vr.Throughput, opt.Throughput)
+	}
+}

@@ -1,0 +1,101 @@
+package rrg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bounds"
+)
+
+func TestExpandWithSwitch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := Regular(rng, 20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := ExpandWithSwitch(rng, g, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.N() != 21 {
+		t.Fatalf("nodes %d", ng.N())
+	}
+	// All degrees preserved; new node has exactly 6.
+	if r, ok := ng.IsRegular(); !ok || r != 6 {
+		t.Fatalf("expansion broke regularity: degree %d regular=%v", r, ok)
+	}
+	if !ng.IsConnected() {
+		t.Fatal("expansion disconnected the graph")
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if g.N() != 20 {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestExpandBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := Regular(rng, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := ExpandBy(rng, g, 5, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng.N() != 21 {
+		t.Fatalf("nodes %d, want 21", ng.N())
+	}
+	if r, ok := ng.IsRegular(); !ok || r != 4 {
+		t.Fatalf("degree %d after repeated expansion", r)
+	}
+	if !ng.IsConnected() {
+		t.Fatal("disconnected after repeated expansion")
+	}
+}
+
+// The Jellyfish claim behind expansion: the grown graph keeps near-optimal
+// path lengths (ASPL stays close to the lower bound).
+func TestExpandKeepsASPLNearBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := Regular(rng, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := ExpandBy(rng, g, 10, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aspl, ok := ng.ASPL()
+	if !ok {
+		t.Fatal("disconnected")
+	}
+	lb := bounds.ASPLLowerBound(ng.N(), 6)
+	if aspl > 1.25*lb {
+		t.Fatalf("expanded graph ASPL %v vs bound %v: structure degraded", aspl, lb)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := Regular(rng, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpandWithSwitch(rng, g, 3, 1); err == nil {
+		t.Fatal("odd degree accepted")
+	}
+	if _, err := ExpandWithSwitch(rng, g, 0, 1); err == nil {
+		t.Fatal("zero degree accepted")
+	}
+	tiny, err := Regular(rng, 4, 2)
+	if err == nil {
+		// degree 2 may legitimately fail to connect; only test when built
+		if _, err := ExpandWithSwitch(rng, tiny, 40, 1); err == nil {
+			t.Fatal("oversized expansion accepted")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package rrg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// PowerLawDegrees samples n port counts following a truncated power-law
+// distribution P(k) ∝ k^(-alpha) on k ∈ [kmin, kmax], then rescales the
+// sample so its mean is approximately avg (paper Fig. 5 uses average port
+// counts 6, 8 and 10). The returned sequence has an even sum (adjusted by
+// at most one port on one switch) and every entry ≥ 2 so a connected
+// simple graph remains feasible.
+func PowerLawDegrees(rng *rand.Rand, n int, avg float64, alpha float64, kmin, kmax int) ([]int, error) {
+	if n <= 0 || avg < 2 || kmin < 1 || kmax < kmin || alpha <= 1 {
+		return nil, fmt.Errorf("%w: PowerLawDegrees(n=%d, avg=%v, alpha=%v, k=[%d,%d])",
+			ErrInfeasible, n, avg, alpha, kmin, kmax)
+	}
+	// Inverse-CDF sampling on the continuous truncated Pareto, then round.
+	raw := make([]float64, n)
+	a := 1 - alpha
+	lo := math.Pow(float64(kmin), a)
+	hi := math.Pow(float64(kmax), a)
+	var mean float64
+	for i := range raw {
+		u := rng.Float64()
+		raw[i] = math.Pow(lo+u*(hi-lo), 1/a)
+		mean += raw[i]
+	}
+	mean /= float64(n)
+	scale := avg / mean
+	deg := make([]int, n)
+	total := 0
+	for i, r := range raw {
+		d := int(math.Round(r * scale))
+		if d < 2 {
+			d = 2
+		}
+		if d >= n {
+			d = n - 1
+		}
+		deg[i] = d
+		total += d
+	}
+	if total%2 != 0 {
+		// Bump the smallest degree that can move without leaving bounds.
+		idx := 0
+		for i := 1; i < n; i++ {
+			if deg[i] < deg[idx] {
+				idx = i
+			}
+		}
+		if deg[idx] < n-1 {
+			deg[idx]++
+		} else {
+			deg[idx]--
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	return deg, nil
+}

@@ -1,0 +1,318 @@
+package rrg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegularBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ n, r int }{{10, 3}, {20, 4}, {40, 10}, {15, 4}, {8, 7}} {
+		g, err := Regular(rng, c.n, c.r)
+		if err != nil {
+			t.Fatalf("Regular(%d,%d): %v", c.n, c.r, err)
+		}
+		if r, ok := g.IsRegular(); !ok || r != c.r {
+			t.Fatalf("Regular(%d,%d): degree %d regular=%v", c.n, c.r, r, ok)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("Regular(%d,%d) disconnected", c.n, c.r)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Simplicity: no duplicate links.
+		seen := map[[2]int]bool{}
+		for id := 0; id < g.NumLinks(); id++ {
+			u, v := g.LinkEnds(id)
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				t.Fatalf("duplicate link %d-%d", u, v)
+			}
+			seen[[2]int{u, v}] = true
+		}
+	}
+}
+
+func TestRegularInfeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ n, r int }{{5, 3}, {4, 4}, {0, 1}, {3, -1}} {
+		if _, err := Regular(rng, c.n, c.r); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("Regular(%d,%d) should be infeasible, got %v", c.n, c.r, err)
+		}
+	}
+}
+
+func TestRegularComplete(t *testing.T) {
+	// r = n-1 forces the complete graph.
+	rng := rand.New(rand.NewSource(5))
+	g, err := Regular(rng, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 15 {
+		t.Fatalf("K6 links %d, want 15", g.NumLinks())
+	}
+}
+
+func TestRegularDeterminism(t *testing.T) {
+	a, err := Regular(rand.New(rand.NewSource(9)), 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Regular(rand.New(rand.NewSource(9)), 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLinks() != b.NumLinks() {
+		t.Fatal("same seed, different graphs")
+	}
+	for id := 0; id < a.NumLinks(); id++ {
+		au, av := a.LinkEnds(id)
+		bu, bv := b.LinkEnds(id)
+		if au != bu || av != bv {
+			t.Fatalf("link %d differs: (%d,%d) vs (%d,%d)", id, au, av, bu, bv)
+		}
+	}
+}
+
+func TestFromDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	deg := []int{5, 4, 3, 3, 2, 2, 2, 2, 2, 1}
+	g, err := FromDegrees(rng, deg, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range deg {
+		if g.Degree(i) != d {
+			t.Fatalf("node %d degree %d, want %d", i, g.Degree(i), d)
+		}
+	}
+	if g.LinkCapacity(0) != 2.0 {
+		t.Fatal("link capacity not honored")
+	}
+}
+
+func TestFromDegreesOddSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := FromDegrees(rng, []int{3, 2, 2}, 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatal("odd degree sum should fail")
+	}
+}
+
+func TestTwoClusterExactCross(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, cross := range []int{4, 10, 20, 40} {
+		degA := repeat(8, 10) // 10 nodes, degree 8
+		degB := repeat(6, 12) // 12 nodes, degree 6
+		x, err := FeasibleCross(cross, sum(degA), sum(degB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := TwoCluster(rng, TwoClusterSpec{DegA: degA, DegB: degB, CrossLinks: x, LinkCap: 1})
+		if err != nil {
+			t.Fatalf("cross=%d: %v", x, err)
+		}
+		mask := make([]bool, g.N())
+		for i := 0; i < len(degA); i++ {
+			mask[i] = true
+		}
+		// CrossCapacity counts both directions.
+		if got := g.CrossCapacity(mask); got != float64(2*x) {
+			t.Fatalf("cross=%d: capacity %v, want %v", x, got, 2*x)
+		}
+		// Degrees preserved.
+		for i := range degA {
+			if g.Degree(i) != degA[i] {
+				t.Fatalf("cluster A node %d degree %d", i, g.Degree(i))
+			}
+		}
+		for i := range degB {
+			if g.Degree(len(degA)+i) != degB[i] {
+				t.Fatalf("cluster B node %d degree %d", i, g.Degree(len(degA)+i))
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if x > 0 && !g.IsConnected() {
+			t.Fatalf("cross=%d disconnected", x)
+		}
+	}
+}
+
+func TestTwoClusterZeroCross(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := TwoCluster(rng, TwoClusterSpec{
+		DegA: repeat(4, 8), DegB: repeat(4, 8), CrossLinks: 0, LinkCap: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IsConnected() {
+		t.Fatal("zero cross links cannot be connected")
+	}
+	_, count := g.Components()
+	if count != 2 {
+		t.Fatalf("components %d, want 2", count)
+	}
+}
+
+func TestTwoClusterParityRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// sum(DegA) - cross odd -> infeasible.
+	_, err := TwoCluster(rng, TwoClusterSpec{DegA: []int{3, 2}, DegB: []int{4, 4}, CrossLinks: 2})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("expected parity failure, got %v", err)
+	}
+}
+
+func TestFeasibleCross(t *testing.T) {
+	cases := []struct {
+		want, sa, sb int
+		expect       int
+	}{
+		{10, 40, 40, 10},
+		{11, 40, 40, 10}, // parity snap
+		{100, 40, 60, 40},
+		{-5, 40, 40, 0},
+		{0, 41, 41, 1}, // leftover parity forces one cross link
+	}
+	for _, c := range cases {
+		got, err := FeasibleCross(c.want, c.sa, c.sb)
+		if err != nil {
+			t.Fatalf("FeasibleCross(%d,%d,%d): %v", c.want, c.sa, c.sb, err)
+		}
+		if got != c.expect {
+			t.Fatalf("FeasibleCross(%d,%d,%d) = %d, want %d", c.want, c.sa, c.sb, got, c.expect)
+		}
+		if (c.sa-got)%2 != 0 || (c.sb-got)%2 != 0 {
+			t.Fatalf("result %d leaves odd leftovers", got)
+		}
+	}
+	if _, err := FeasibleCross(5, 10, 11); !errors.Is(err, ErrInfeasible) {
+		t.Fatal("mismatched parity should error")
+	}
+}
+
+func TestExpectedCrossLinks(t *testing.T) {
+	if got := ExpectedCrossLinks(0, 10); got != 0 {
+		t.Fatalf("empty side expected 0, got %v", got)
+	}
+	got := ExpectedCrossLinks(100, 100)
+	if got < 49 || got > 51 {
+		t.Fatalf("symmetric case ~50, got %v", got)
+	}
+}
+
+func TestPowerLawDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	deg, err := PowerLawDegrees(rng, 50, 8, 2.2, 3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deg) != 50 {
+		t.Fatalf("len %d", len(deg))
+	}
+	total := 0
+	for _, d := range deg {
+		if d < 2 || d >= 50 {
+			t.Fatalf("degree %d out of range", d)
+		}
+		total += d
+	}
+	if total%2 != 0 {
+		t.Fatal("odd degree sum")
+	}
+	mean := float64(total) / 50
+	if mean < 6 || mean > 10 {
+		t.Fatalf("mean %v too far from 8", mean)
+	}
+	// Must be realizable.
+	if _, err := FromDegrees(rng, deg, 1); err != nil {
+		t.Fatalf("power-law sequence unrealizable: %v", err)
+	}
+}
+
+func TestPowerLawDegreesRejectsBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, c := range []struct {
+		n   int
+		avg float64
+		a   float64
+		k0  int
+		k1  int
+	}{
+		{0, 8, 2.2, 3, 32}, {10, 1, 2.2, 3, 32}, {10, 8, 0.5, 3, 32}, {10, 8, 2.2, 8, 3},
+	} {
+		if _, err := PowerLawDegrees(rng, c.n, c.avg, c.a, c.k0, c.k1); err == nil {
+			t.Fatalf("accepted bad params %+v", c)
+		}
+	}
+}
+
+// Property: Regular produces a connected simple r-regular graph for all
+// feasible (n, r) in a small randomized family.
+func TestQuickRegular(t *testing.T) {
+	f := func(seed int64, nRaw, rRaw uint8) bool {
+		n := int(nRaw%30) + 4
+		r := int(rRaw%6) + 3
+		if r >= n {
+			r = n - 1
+		}
+		if (n*r)%2 != 0 {
+			r--
+		}
+		if r < 3 {
+			return true
+		}
+		g, err := Regular(rand.New(rand.NewSource(seed)), n, r)
+		if err != nil {
+			return false
+		}
+		rr, ok := g.IsRegular()
+		return ok && rr == r && g.IsConnected() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TwoCluster honors the exact cross-link budget across random
+// feasible specs.
+func TestQuickTwoCluster(t *testing.T) {
+	f := func(seed int64, da, db, xRaw uint8) bool {
+		degA := repeat(int(da%5)+3, 8)
+		degB := repeat(int(db%5)+3, 10)
+		x, err := FeasibleCross(int(xRaw)%sum(degA), sum(degA), sum(degB))
+		if err != nil {
+			return true // parity mismatch between clusters: skip
+		}
+		g, err := TwoCluster(rand.New(rand.NewSource(seed)), TwoClusterSpec{
+			DegA: degA, DegB: degB, CrossLinks: x, LinkCap: 1,
+		})
+		if err != nil {
+			return false
+		}
+		mask := make([]bool, g.N())
+		for i := range degA {
+			mask[i] = true
+		}
+		return g.CrossCapacity(mask) == float64(2*x) && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func repeat(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

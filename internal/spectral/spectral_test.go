@@ -1,0 +1,190 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rrg"
+)
+
+func TestSecondEigenvalueCompleteGraph(t *testing.T) {
+	// K_n has spectrum {n-1, -1, ..., -1}: the second-largest by value is
+	// -1, and the deflated power iteration converges to magnitude 1.
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			g.AddLink(i, j, 1)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	l2 := SecondEigenvalue(g, 300, rng)
+	if math.Abs(math.Abs(l2)-1) > 0.05 {
+		t.Fatalf("K8 second eigenvalue %v, want magnitude 1", l2)
+	}
+}
+
+func TestSecondEigenvalueCycle(t *testing.T) {
+	// Even cycles are bipartite: the non-principal eigenvalue of largest
+	// magnitude is -2. Odd cycles are not: C13's is 2·cos(2π/13).
+	even := graph.New(12)
+	for i := 0; i < 12; i++ {
+		even.AddLink(i, (i+1)%12, 1)
+	}
+	l := SecondEigenvalue(even, 800, rand.New(rand.NewSource(2)))
+	if math.Abs(l-(-2)) > 0.05 {
+		t.Fatalf("C12 λ = %v, want -2", l)
+	}
+	// C13's non-principal eigenvalue of largest magnitude is the most
+	// negative one, 2·cos(12π/13) ≈ -1.971.
+	odd := graph.New(13)
+	for i := 0; i < 13; i++ {
+		odd.AddLink(i, (i+1)%13, 1)
+	}
+	l = SecondEigenvalue(odd, 3000, rand.New(rand.NewSource(2)))
+	want := 2 * math.Cos(12*math.Pi/13)
+	if math.Abs(l-want) > 0.1 {
+		t.Fatalf("C13 λ = %v, want %v", l, want)
+	}
+}
+
+func TestSpectralGapRRGIsExpander(t *testing.T) {
+	// Random regular graphs are near-Ramanujan w.h.p.: λ2 ≲ 2√(r-1)+o(1).
+	rng := rand.New(rand.NewSource(3))
+	g, err := rrg.Regular(rng, 100, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := SecondEigenvalue(g, 400, rng)
+	ramanujan := 2 * math.Sqrt(5)
+	if l2 > ramanujan+1.0 {
+		t.Fatalf("RRG λ2 = %v far above Ramanujan bound %v", l2, ramanujan)
+	}
+	if gap := SpectralGap(g, 400, rand.New(rand.NewSource(3))); gap < 0.5 {
+		t.Fatalf("spectral gap %v too small for an expander", gap)
+	}
+}
+
+func TestSpectralGapNonRegular(t *testing.T) {
+	g := graph.New(3)
+	g.AddLink(0, 1, 1)
+	g.AddLink(1, 2, 1)
+	if gap := SpectralGap(g, 50, rand.New(rand.NewSource(1))); gap != 0 {
+		t.Fatalf("non-regular gap %v, want 0", gap)
+	}
+}
+
+func TestMixingCheckOnRRG(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := rrg.Regular(rng, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := SecondEigenvalue(g, 400, rng)
+	// Random balanced subsets should satisfy the mixing lemma.
+	for trial := 0; trial < 10; trial++ {
+		inS := make([]bool, g.N())
+		perm := rng.Perm(g.N())
+		for _, u := range perm[:g.N()/2] {
+			inS[u] = true
+		}
+		dev, allow := MixingCheck(g, inS, lambda)
+		// Allow slack for the approximate λ estimate.
+		if dev > allow*1.5+1 {
+			t.Fatalf("mixing violated: deviation %v > allowance %v", dev, allow)
+		}
+	}
+}
+
+func TestSweepCutFindsPlantedBottleneck(t *testing.T) {
+	// Two dense clusters joined by few links: the sweep cut should find
+	// conductance far below a random cut's.
+	rng := rand.New(rand.NewSource(7))
+	degA := make([]int, 16)
+	degB := make([]int, 16)
+	for i := range degA {
+		degA[i], degB[i] = 6, 6
+	}
+	g, err := rrg.TwoCluster(rng, rrg.TwoClusterSpec{DegA: degA, DegB: degB, CrossLinks: 4, LinkCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, inS := SweepCut(g, 500, rng)
+	// Total volume is 2·|links| = 192; the planted cut has 4 links and
+	// conductance 4/96 ≈ 0.042.
+	if phi > 0.1 {
+		t.Fatalf("sweep cut conductance %v, planted is ~0.042", phi)
+	}
+	// The cut should roughly separate the clusters.
+	var inFirst int
+	for u := 0; u < 16; u++ {
+		if inS[u] {
+			inFirst++
+		}
+	}
+	if inFirst != 0 && inFirst != 16 {
+		// Mixed membership is acceptable only if conductance is still low;
+		// strict separation is the typical outcome.
+		t.Logf("sweep cut mixed: %d of cluster A on one side (phi=%v)", inFirst, phi)
+	}
+}
+
+func TestSparsestCutBipartiteTwoCluster(t *testing.T) {
+	// Lemma 2: for H = K_{V1,V2}, the sparsest cut is ~2q (per unit
+	// demand), attained by separating one cluster.
+	rng := rand.New(rand.NewSource(9))
+	n := 20
+	degA := make([]int, n)
+	degB := make([]int, n)
+	for i := range degA {
+		degA[i], degB[i] = 8, 8
+	}
+	for _, cross := range []int{8, 24, 48} {
+		g, err := rrg.TwoCluster(rng, rrg.TwoClusterSpec{DegA: degA, DegB: degB, CrossLinks: cross, LinkCap: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inV1 := make([]bool, g.N())
+		for i := 0; i < n; i++ {
+			inV1[i] = true
+		}
+		phi := SparsestCutBipartite(g, inV1)
+		// Whole-cluster cut: capacity 2·cross (both dirs... Cap counts one
+		// direction per arc scan) over demand n·n.
+		whole := float64(2*cross) / float64(n*n)
+		if phi > whole+1e-9 {
+			t.Fatalf("cross=%d: sparsest %v exceeds whole-cluster cut %v", cross, phi, whole)
+		}
+		if phi <= 0 {
+			t.Fatalf("cross=%d: non-positive sparsest cut %v", cross, phi)
+		}
+	}
+}
+
+// Theorem 2's qualitative claim: the sparsest-cut value scales linearly
+// with the cross-cluster connectivity q.
+func TestSparsestCutLinearInQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 20
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 8
+	}
+	val := func(cross int) float64 {
+		g, err := rrg.TwoCluster(rng, rrg.TwoClusterSpec{DegA: deg, DegB: deg, CrossLinks: cross, LinkCap: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inV1 := make([]bool, g.N())
+		for i := 0; i < n; i++ {
+			inV1[i] = true
+		}
+		return SparsestCutBipartite(g, inV1)
+	}
+	v1, v2 := val(10), val(40)
+	ratio := v2 / v1
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("4x cross links changed sparsest cut by %vx; want ~4x", ratio)
+	}
+}
