@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/maxflow"
 	"repro/internal/mcf"
 	"repro/internal/packet"
 	"repro/internal/routing"
@@ -150,6 +151,22 @@ func BenchmarkTwoClusterGeneration(b *testing.B) {
 			DegA: degA, DegB: degB, CrossLinks: 60, LinkCap: 1,
 		}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: bisection bandwidth estimation, dominated by the
+// Kernighan–Lin refinement (incremental swap gains since PR 1).
+func BenchmarkBisectionBandwidth(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := rrg.Regular(rng, 200, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v := maxflow.BisectionBandwidth(g, 4); v <= 0 {
+			b.Fatal("non-positive bisection estimate")
 		}
 	}
 }

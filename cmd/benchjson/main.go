@@ -1,0 +1,147 @@
+// Command benchjson runs the repository's hot-path micro-benchmarks
+// programmatically and emits a JSON snapshot (BENCH_<date>.json) so the
+// performance trajectory can be tracked across PRs without parsing `go
+// test -bench` text output.
+//
+// Usage:
+//
+//	benchjson [-o dir] [-benchtime 1s]
+//
+// The snapshot covers the flow solver (scale and epsilon ablations), the
+// bisection-bandwidth estimator, and two representative figure runners in
+// quick mode (one grid-heavy, one decomposition-heavy).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/maxflow"
+	"repro/internal/mcf"
+	"repro/internal/rrg"
+	"repro/internal/traffic"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Seconds     float64 `json:"seconds"`
+}
+
+// Snapshot is the emitted file format.
+type Snapshot struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Entries    []Entry `json:"entries"`
+}
+
+func main() {
+	testing.Init() // register test.* flags so benchtime is settable
+	out := flag.String("o", ".", "output directory for BENCH_<date>.json")
+	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target runtime")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fatal(err)
+	}
+
+	snap := Snapshot{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		e := Entry{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Seconds:     r.T.Seconds(),
+		}
+		snap.Entries = append(snap.Entries, e)
+		fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %10d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
+	}
+
+	for _, n := range []int{20, 40, 80} {
+		n := n
+		add(fmt.Sprintf("SolverScale/n=%d", n), func(b *testing.B) {
+			benchSolve(b, n, 10, 5, 0.1)
+		})
+	}
+	for _, eps := range []float64{0.2, 0.1, 0.05} {
+		eps := eps
+		add(fmt.Sprintf("SolverEpsilon/eps=%v", eps), func(b *testing.B) {
+			benchSolve(b, 40, 10, 5, eps)
+		})
+	}
+	add("BisectionBandwidth/n=200", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		g, err := rrg.Regular(rng, 200, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			maxflow.BisectionBandwidth(g, 4)
+		}
+	})
+	for _, id := range []string{"2a", "9a"} {
+		id := id
+		add("Fig"+id+"/quick", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Registry[id](experiments.Options{Quick: true, Runs: 2, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	path := filepath.Join(*out, "BENCH_"+snap.Date+".json")
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println(path)
+}
+
+func benchSolve(b *testing.B, n, r, sps int, eps float64) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := rrg.Regular(rng, n, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		g.SetServers(u, sps)
+	}
+	tm := traffic.Permutation(rng, traffic.HostsOf(g))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: eps}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,10 @@
 //	topobench -list
 //	topobench -all -quick -o results/
 //
+// Grid points and runs are evaluated concurrently by default (bounded by
+// GOMAXPROCS); -parallel=false forces serial execution. Both modes emit
+// byte-identical TSV for the same seed.
+//
 // Output is TSV, one block per curve, matching the series of the paper's
 // figure (see DESIGN.md §4 for the per-figure index).
 package main
@@ -22,14 +26,16 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure ID to regenerate (e.g. 1a, 6c, 12a)")
-		all   = flag.Bool("all", false, "regenerate every figure")
-		list  = flag.Bool("list", false, "list available figure IDs")
-		runs  = flag.Int("runs", 0, "runs per data point (default: 20, or 3 with -quick)")
-		seed  = flag.Int64("seed", 1, "base RNG seed")
-		eps   = flag.Float64("eps", 0, "flow solver epsilon (default 0.08, or 0.12 with -quick)")
-		quick = flag.Bool("quick", false, "reduced grids and run counts")
-		out   = flag.String("o", "", "output file (or directory with -all); default stdout")
+		fig      = flag.String("fig", "", "figure ID to regenerate (e.g. 1a, 6c, 12a)")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		list     = flag.Bool("list", false, "list available figure IDs")
+		runs     = flag.Int("runs", 0, "runs per data point (default: 20, or 3 with -quick)")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		eps      = flag.Float64("eps", 0, "flow solver epsilon (default 0.08, or 0.12 with -quick)")
+		quick    = flag.Bool("quick", false, "reduced grids and run counts")
+		parallel = flag.Bool("parallel", true, "evaluate grid points and runs concurrently (output is byte-identical to serial)")
+		workers  = flag.Int("workers", 0, "worker count with -parallel (0 = GOMAXPROCS)")
+		out      = flag.String("o", "", "output file (or directory with -all); default stdout")
 	)
 	flag.Parse()
 
@@ -40,7 +46,11 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Runs: *runs, Seed: *seed, Epsilon: *eps, Quick: *quick}
+	par := *workers
+	if !*parallel {
+		par = 1
+	}
+	opts := experiments.Options{Runs: *runs, Seed: *seed, Epsilon: *eps, Quick: *quick, Parallel: par}
 
 	switch {
 	case *all:

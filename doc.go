@@ -7,4 +7,35 @@
 // The benchmarks in bench_test.go regenerate every figure of the paper's
 // evaluation in reduced "quick" mode; use cmd/topobench for full-fidelity
 // runs.
+//
+// # Performance architecture
+//
+// Every figure of the evaluation bottoms out in mcf.Solve, the
+// Garg–Könemann concurrent-flow approximation standing in for the paper's
+// CPLEX LP. Two layers keep regeneration fast:
+//
+// Solver layer. graph.Graph exposes its adjacency as a lazily built CSR
+// (compressed sparse row) view, so the BFS/Dijkstra inner loops walk flat
+// arrays instead of per-node slices. graph.DijkstraScratch makes repeated
+// shortest-path trees allocation-free: dist/via validity is tracked with
+// epoch stamps (no O(n) clearing), the heap keeps its backing array, and
+// runs stop early once every requested target is settled. mcf.Solve
+// builds on this with per-source trees that persist until a requested
+// path's total length has grown by ≥ (1+ε) since the tree was built (the
+// slack the Garg–Könemann analysis tolerates), an incrementally maintained
+// termination potential, and a primal-dual certificate — the phase's tree
+// distances yield a valid dual bound λ* ≤ Σ lens·caps / Σ demand·dist —
+// that stops the solve as soon as the gap closes instead of waiting for
+// the worst-case potential rule. maxflow.BisectionBandwidth refines cuts
+// with incremental Kernighan–Lin swap gains (O(1) per candidate pair)
+// rather than recomputing the full cut capacity per pair.
+//
+// Experiment layer. internal/runner provides the worker pool that the
+// figure runners, core.Evaluation, and the packet-simulation sweeps map
+// their grids onto. Every task seeds its RNG deterministically from
+// (Options.Seed, point index) and results are reduced in grid order, so
+// parallel output is byte-identical to serial output; topobench runs
+// parallel by default (-parallel=false forces serial). cmd/benchjson
+// snapshots the hot-path benchmarks to BENCH_<date>.json so perf is
+// tracked across PRs.
 package repro

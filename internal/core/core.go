@@ -16,13 +16,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/bounds"
 	"repro/internal/graph"
 	"repro/internal/mcf"
 	"repro/internal/rrg"
+	"repro/internal/runner"
 	"repro/internal/traffic"
 )
 
@@ -147,36 +146,21 @@ func (ev Evaluation) run(build Builder, keep bool) ([]float64, []detail, error) 
 	if runs <= 0 {
 		runs = 3
 	}
-	workers := ev.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	type runOut struct {
+		val float64
+		det detail
 	}
-	if workers > runs {
-		workers = runs
+	outs, err := runner.Map(runner.New(ev.Parallel), runs, func(i int) (runOut, error) {
+		v, d, err := ev.oneRun(build, i, keep)
+		return runOut{val: v, det: d}, err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	vals := make([]float64, runs)
 	dets := make([]detail, runs)
-	errs := make([]error, runs)
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				vals[i], dets[i], errs[i] = ev.oneRun(build, i, keep)
-			}
-		}()
-	}
-	for i := 0; i < runs; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, o := range outs {
+		vals[i], dets[i] = o.val, o.det
 	}
 	if !keep {
 		return vals, nil, nil

@@ -11,19 +11,27 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hetero"
 	"repro/internal/rrg"
+	"repro/internal/runner"
 )
 
-// boundSweep measures, for every cross-cluster ratio, the observed
-// throughput and the Eq. 1 two-cluster upper bound (averaged over runs).
-// It also reports the measured cross-cluster capacity C̄ at every point.
+// boundSweep measures, for every cross-cluster ratio (one concurrent task
+// per ratio), the observed throughput and the Eq. 1 two-cluster upper
+// bound (averaged over runs). It also reports the measured cross-cluster
+// capacity C̄ at every point.
 func boundSweep(o Options, cfgAt func(x float64) hetero.Config, xs []float64, seedMix int64) (keptX, obs, bnd, crossCap []float64, n1, n2 int, err error) {
-	for _, x := range xs {
+	type point struct {
+		obs, bnd, cross float64
+		n1, n2          int
+		ok              bool
+	}
+	pts, err := runner.Map(o.pool(), len(xs), func(i int) (point, error) {
+		x := xs[i]
 		cfg := cfgAt(x)
 		if _, berr := hetero.Build(rand.New(rand.NewSource(1)), cfg); berr != nil {
 			if errors.Is(berr, hetero.ErrInfeasiblePoint) || errors.Is(berr, rrg.ErrInfeasible) {
-				continue
+				return point{}, nil
 			}
-			return nil, nil, nil, nil, 0, 0, berr
+			return point{}, berr
 		}
 		ev := core.Evaluation{
 			Workload: core.Permutation,
@@ -36,25 +44,38 @@ func boundSweep(o Options, cfgAt func(x float64) hetero.Config, xs []float64, se
 			return hetero.Build(rng, cfg)
 		})
 		if rerr != nil {
-			return nil, nil, nil, nil, 0, 0, fmt.Errorf("bound sweep x=%v: %w", x, rerr)
+			return point{}, fmt.Errorf("bound sweep x=%v: %w", x, rerr)
 		}
 		mask := hetero.LargeClusterMask(cfg)
+		var p point
 		var tMean, bMean, cMean float64
 		for i, res := range results {
 			g := graphs[i]
 			aspl, _ := g.ASPL()
 			s1, s2 := clusterServers(g, mask)
-			n1, n2 = s1, s2
+			p.n1, p.n2 = s1, s2
 			cbar := g.CrossCapacity(mask)
 			tMean += res.Throughput
 			bMean += bounds.TwoClusterBound(g.TotalCapacity(), cbar, aspl, s1, s2)
 			cMean += cbar
 		}
 		n := float64(len(results))
-		keptX = append(keptX, x)
-		obs = append(obs, tMean/n)
-		bnd = append(bnd, bMean/n)
-		crossCap = append(crossCap, cMean/n)
+		p.obs, p.bnd, p.cross = tMean/n, bMean/n, cMean/n
+		p.ok = true
+		return p, nil
+	})
+	if err != nil {
+		return nil, nil, nil, nil, 0, 0, err
+	}
+	for i, p := range pts {
+		if !p.ok {
+			continue
+		}
+		keptX = append(keptX, xs[i])
+		obs = append(obs, p.obs)
+		bnd = append(bnd, p.bnd)
+		crossCap = append(crossCap, p.cross)
+		n1, n2 = p.n1, p.n2
 	}
 	return keptX, obs, bnd, crossCap, n1, n2, nil
 }

@@ -10,20 +10,24 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hetero"
 	"repro/internal/rrg"
+	"repro/internal/runner"
 )
 
-// decompSweep evaluates a sweep and returns the averaged §6.1
-// decomposition at every feasible point.
+// decompSweep evaluates a sweep (one concurrent task per grid point) and
+// returns the averaged §6.1 decomposition at every feasible point.
 func decompSweep(o Options, mk func(x float64) hetero.Config, xs []float64, seedMix int64) ([]float64, []analysis.Decomposition, error) {
-	var keptX []float64
-	var ds []analysis.Decomposition
-	for _, x := range xs {
+	type point struct {
+		agg analysis.Decomposition
+		ok  bool
+	}
+	pts, err := runner.Map(o.pool(), len(xs), func(i int) (point, error) {
+		x := xs[i]
 		cfg := mk(x)
 		if _, err := hetero.Build(rand.New(rand.NewSource(1)), cfg); err != nil {
 			if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
-				continue
+				return point{}, nil
 			}
-			return nil, nil, err
+			return point{}, err
 		}
 		ev := core.Evaluation{
 			Workload: core.Permutation,
@@ -36,7 +40,7 @@ func decompSweep(o Options, mk func(x float64) hetero.Config, xs []float64, seed
 			return hetero.Build(rng, cfg)
 		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("decomposition x=%v: %w", x, err)
+			return point{}, fmt.Errorf("decomposition x=%v: %w", x, err)
 		}
 		var agg analysis.Decomposition
 		for i, res := range results {
@@ -53,8 +57,19 @@ func decompSweep(o Options, mk func(x float64) hetero.Config, xs []float64, seed
 		agg.Utilization /= n
 		agg.SPL /= n
 		agg.Stretch /= n
-		keptX = append(keptX, x)
-		ds = append(ds, agg)
+		return point{agg: agg, ok: true}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var keptX []float64
+	var ds []analysis.Decomposition
+	for i, p := range pts {
+		if !p.ok {
+			continue
+		}
+		keptX = append(keptX, xs[i])
+		ds = append(ds, p.agg)
 	}
 	return keptX, ds, nil
 }

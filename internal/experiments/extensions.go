@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcf"
 	"repro/internal/rrg"
+	"repro/internal/runner"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -133,8 +134,7 @@ func RRGVsHypercube(o Options, dim, serversPerSwitch int) (*Comparison, error) {
 }
 
 func meanThroughput(o Options, build func(*rand.Rand) (*graph.Graph, error)) (float64, error) {
-	var sum float64
-	for run := 0; run < o.Runs; run++ {
+	vals, err := runner.Map(o.pool(), o.Runs, func(run int) (float64, error) {
 		rng := rand.New(rand.NewSource(o.Seed*977 + int64(run)))
 		g, err := build(rng)
 		if err != nil {
@@ -145,7 +145,14 @@ func meanThroughput(o Options, build func(*rand.Rand) (*graph.Graph, error)) (fl
 		if err != nil {
 			return 0, err
 		}
-		sum += res.Throughput
+		return res.Throughput, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
 	}
 	return sum / float64(o.Runs), nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mcf"
+	"repro/internal/runner"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -24,39 +25,63 @@ type FailurePoint struct {
 // FailureSweep measures throughput degradation under random link failures
 // — the graceful-degradation property random graphs are known for. The
 // builder creates the intact topology per run; the same permutation TM is
-// solved after failing each fraction of links.
+// solved after failing each fraction of links. Runs are independent (each
+// has its own RNG seeded from (Seed, run)) and execute concurrently; the
+// per-fraction loop inside a run stays serial because it consumes the
+// run's RNG sequentially. Per-run results are reduced in run order, so the
+// sweep is byte-identical to a serial execution.
 func FailureSweep(o Options, build func(rng *rand.Rand) (*graph.Graph, error), fractions []float64) ([]FailurePoint, error) {
 	o = o.withDefaults()
 	out := make([]FailurePoint, len(fractions))
 	for i, frac := range fractions {
 		out[i].Fraction = frac
 	}
-	var baseline float64
-	for run := 0; run < o.Runs; run++ {
+	type runOut struct {
+		absolute     []float64
+		disconnected []int
+		baseline     float64
+	}
+	runs, err := runner.Map(o.pool(), o.Runs, func(run int) (runOut, error) {
+		ro := runOut{
+			absolute:     make([]float64, len(fractions)),
+			disconnected: make([]int, len(fractions)),
+		}
 		rng := rand.New(rand.NewSource(o.Seed*389 + int64(run)))
 		g, err := build(rng)
 		if err != nil {
-			return nil, err
+			return ro, err
 		}
 		tm := traffic.Permutation(rng, traffic.HostsOf(g))
 		for i, frac := range fractions {
 			fg, err := g.FailRandomLinks(rng, frac)
 			if err != nil {
-				return nil, err
+				return ro, err
 			}
 			res, err := mcf.Solve(fg, tm.Flows, mcf.Options{Epsilon: o.Epsilon})
 			if errors.Is(err, mcf.ErrUnreachable) {
-				out[i].Disconnected++
+				ro.disconnected[i]++
 				continue
 			}
 			if err != nil {
-				return nil, fmt.Errorf("failure sweep frac=%v: %w", frac, err)
+				return ro, fmt.Errorf("failure sweep frac=%v: %w", frac, err)
 			}
-			out[i].Absolute += res.Throughput
+			ro.absolute[i] += res.Throughput
 			if frac == 0 {
-				baseline += res.Throughput
+				ro.baseline += res.Throughput
 			}
 		}
+		return ro, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var baseline float64
+	for _, ro := range runs {
+		for i := range out {
+			out[i].Absolute += ro.absolute[i]
+			out[i].Disconnected += ro.disconnected[i]
+		}
+		baseline += ro.baseline
 	}
 	for i := range out {
 		out[i].Absolute /= float64(o.Runs)

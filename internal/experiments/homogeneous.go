@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/rrg"
+	"repro/internal/runner"
 )
 
 // homPoint measures RRG throughput relative to the Theorem 1 + ASPL-bound
@@ -68,47 +69,68 @@ func Fig1a(o Options) (*Figure, error) {
 		{"Permutation (10 Servers per switch)", core.Permutation, 10},
 		{"Permutation (5 Servers per switch)", core.Permutation, 5},
 	}
-	for _, c := range curves {
-		s := Series{Label: c.label}
+	// Flatten the (curve × degree) grid so every point runs concurrently.
+	type point struct{ ci, r int }
+	var grid []point
+	for ci := range curves {
 		for _, r := range degrees {
-			mean, std, err := homPoint(o, n, r, c.w, c.sps)
-			if err != nil {
-				return nil, fmt.Errorf("fig1a r=%d: %w", r, err)
-			}
-			s.X = append(s.X, float64(r))
-			s.Y = append(s.Y, mean)
-			s.Err = append(s.Err, std)
+			grid = append(grid, point{ci, r})
 		}
-		fig.Series = append(fig.Series, s)
 	}
+	type meas struct{ mean, std float64 }
+	vals, err := runner.Map(o.pool(), len(grid), func(i int) (meas, error) {
+		p := grid[i]
+		c := curves[p.ci]
+		mean, std, err := homPoint(o, n, p.r, c.w, c.sps)
+		if err != nil {
+			return meas{}, fmt.Errorf("fig1a r=%d: %w", p.r, err)
+		}
+		return meas{mean, std}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([]Series, len(curves))
+	for ci, c := range curves {
+		series[ci] = Series{Label: c.label}
+	}
+	for i, p := range grid {
+		s := &series[p.ci]
+		s.X = append(s.X, float64(p.r))
+		s.Y = append(s.Y, vals[i].mean)
+		s.Err = append(s.Err, vals[i].std)
+	}
+	fig.Series = series
 	return fig, nil
 }
 
 // asplSeries measures RRG average shortest path length and the Cerf et al.
-// lower bound across a parameter sweep.
+// lower bound across a parameter sweep, one concurrent task per point.
+// Each run's RNG is seeded from (Seed, point, run), so the series is
+// independent of evaluation order.
 func asplSeries(o Options, pts []struct{ n, r int }, x func(i int) float64) (obs, bound Series, err error) {
 	obs = Series{Label: "Observed ASPL"}
 	bound = Series{Label: "ASPL lower-bound"}
-	for i, p := range pts {
-		var sum, ss float64
-		runs := o.Runs
-		vals := make([]float64, 0, runs)
-		for run := 0; run < runs; run++ {
+	means, err := runner.Map(o.pool(), len(pts), func(i int) (float64, error) {
+		p := pts[i]
+		var sum float64
+		for run := 0; run < o.Runs; run++ {
 			rng := rand.New(rand.NewSource(o.Seed*7919 + int64(1000*p.n+p.r) + int64(run)))
 			g, err := rrg.Regular(rng, p.n, p.r)
 			if err != nil {
-				return obs, bound, err
+				return 0, err
 			}
 			a, _ := g.ASPL()
-			vals = append(vals, a)
 			sum += a
 		}
-		mean := sum / float64(len(vals))
-		for _, v := range vals {
-			ss += (v - mean) * (v - mean)
-		}
+		return sum / float64(o.Runs), nil
+	})
+	if err != nil {
+		return obs, bound, err
+	}
+	for i, p := range pts {
 		obs.X = append(obs.X, x(i))
-		obs.Y = append(obs.Y, mean)
+		obs.Y = append(obs.Y, means[i])
 		bound.X = append(bound.X, x(i))
 		bound.Y = append(bound.Y, bounds.ASPLLowerBound(p.n, p.r))
 	}
@@ -158,24 +180,42 @@ func Fig2a(o Options) (*Figure, error) {
 		{"Permutation (10 Servers per switch)", core.Permutation, 10},
 		{"Permutation (5 Servers per switch)", core.Permutation, 5},
 	}
-	for _, c := range curves {
-		s := Series{Label: c.label}
+	type point struct{ ci, n int }
+	var grid []point
+	for ci, c := range curves {
 		for _, n := range sizes {
 			if c.w == core.AllToAll && n > 100 {
 				// The paper notes its simulator does not scale for
 				// all-to-all at large N; we follow the same cutoff.
 				continue
 			}
-			mean, std, err := homPoint(o, n, r, c.w, c.sps)
-			if err != nil {
-				return nil, fmt.Errorf("fig2a n=%d: %w", n, err)
-			}
-			s.X = append(s.X, float64(n))
-			s.Y = append(s.Y, mean)
-			s.Err = append(s.Err, std)
+			grid = append(grid, point{ci, n})
 		}
-		fig.Series = append(fig.Series, s)
 	}
+	type meas struct{ mean, std float64 }
+	vals, err := runner.Map(o.pool(), len(grid), func(i int) (meas, error) {
+		p := grid[i]
+		c := curves[p.ci]
+		mean, std, err := homPoint(o, p.n, r, c.w, c.sps)
+		if err != nil {
+			return meas{}, fmt.Errorf("fig2a n=%d: %w", p.n, err)
+		}
+		return meas{mean, std}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([]Series, len(curves))
+	for ci, c := range curves {
+		series[ci] = Series{Label: c.label}
+	}
+	for i, p := range grid {
+		s := &series[p.ci]
+		s.X = append(s.X, float64(p.n))
+		s.Y = append(s.Y, vals[i].mean)
+		s.Err = append(s.Err, vals[i].std)
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -219,18 +259,25 @@ func Fig3(o Options) (*Figure, error) {
 	obs := Series{Label: "Observed ASPL"}
 	bound := Series{Label: "ASPL lower-bound"}
 	ratio := Series{Label: "Ratio"}
-	for _, n := range sizes {
+	means, err := runner.Map(o.pool(), len(sizes), func(i int) (float64, error) {
+		n := sizes[i]
 		var sum float64
 		for run := 0; run < runs; run++ {
 			rng := rand.New(rand.NewSource(o.Seed*104729 + int64(n) + int64(run)))
 			g, err := rrg.Regular(rng, n, r)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			a, _ := g.ASPL()
 			sum += a
 		}
-		mean := sum / float64(runs)
+		return sum / float64(runs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		mean := means[i]
 		b := bounds.ASPLLowerBound(n, r)
 		obs.X = append(obs.X, float64(n))
 		obs.Y = append(obs.Y, mean)

@@ -1,11 +1,9 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/hetero"
-	"repro/internal/rrg"
 )
 
 // crossRatioXs is the Fig. 6/7 x grid (cross-cluster links as a ratio to
@@ -18,24 +16,21 @@ func crossRatioXs(quick bool) []float64 {
 }
 
 // sweepCrossRatio evaluates one cross-cluster connectivity curve with the
-// server distribution held fixed, normalized to the curve's peak.
+// server distribution held fixed (one concurrent task per grid point),
+// normalized to the curve's peak.
 func sweepCrossRatio(o Options, label string, base hetero.Config, xs []float64) (Series, error) {
-	s := Series{Label: label}
-	var raw []float64
-	for _, x := range xs {
-		cfg := base
-		cfg.CrossRatio = x
-		mean, std, err := heteroPoint(o, cfg, labelSeed(label)+int64(x*1000))
-		if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
-			continue
-		}
-		if err != nil {
-			return s, fmt.Errorf("%s x=%v: %w", label, x, err)
-		}
-		s.X = append(s.X, x)
-		raw = append(raw, mean)
-		s.Err = append(s.Err, std)
+	pts, err := sweepHetero(o, xs,
+		func(x float64) hetero.Config {
+			cfg := base
+			cfg.CrossRatio = x
+			return cfg
+		},
+		func(x float64) int64 { return labelSeed(label) + int64(x*1000) },
+		func(x float64, err error) error { return fmt.Errorf("%s x=%v: %w", label, x, err) })
+	if err != nil {
+		return Series{Label: label}, err
 	}
+	s, raw := collectSeries(label, pts)
 	normalizePeak(&s, raw)
 	return s, nil
 }
@@ -149,23 +144,21 @@ func fig7(o Options, id string, portsSmall int, splits [][2]int) (*Figure, error
 			PortsLarge: 30, PortsSmall: portsSmall,
 			ServersPerLarge: split[0], ServersPerSmall: split[1],
 		}
-		s := Series{Label: label}
-		var raw []float64
-		for _, x := range crossRatioXs(o.Quick) {
-			cfg := base
-			cfg.CrossRatio = x
-			mean, std, err := heteroPoint(o, cfg, labelSeed(label)+int64(x*1000))
-			if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
-				continue
-			}
-			if err != nil {
-				return nil, fmt.Errorf("%s x=%v: %w", label, x, err)
-			}
-			s.X = append(s.X, x)
-			raw = append(raw, mean)
-			s.Err = append(s.Err, std)
-			if mean > peak {
-				peak = mean
+		pts, err := sweepHetero(o, crossRatioXs(o.Quick),
+			func(x float64) hetero.Config {
+				cfg := base
+				cfg.CrossRatio = x
+				return cfg
+			},
+			func(x float64) int64 { return labelSeed(label) + int64(x*1000) },
+			func(x float64, err error) error { return fmt.Errorf("%s x=%v: %w", label, x, err) })
+		if err != nil {
+			return nil, err
+		}
+		s, raw := collectSeries(label, pts)
+		for _, v := range raw {
+			if v > peak {
+				peak = v
 			}
 		}
 		curves = append(curves, curve{s, raw})

@@ -1,11 +1,9 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/hetero"
-	"repro/internal/rrg"
 )
 
 // fig8Base is the §5.2 equipment pool: 20 large switches with 40 low
@@ -41,23 +39,21 @@ func Fig8a(o Options) (*Figure, error) {
 		base := fig8Base()
 		base.ServersPerLarge, base.ServersPerSmall = split[0], split[1]
 		base.HighLinksPerLarge, base.HighCap = 3, 10
-		s := Series{Label: label}
-		var raw []float64
-		for _, x := range xs {
-			cfg := base
-			cfg.CrossRatio = x
-			mean, std, err := heteroPoint(o, cfg, labelSeed(label)+int64(x*1000))
-			if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
-				continue
-			}
-			if err != nil {
-				return nil, fmt.Errorf("fig8a %s x=%v: %w", label, x, err)
-			}
-			s.X = append(s.X, x)
-			raw = append(raw, mean)
-			s.Err = append(s.Err, std)
-			if mean > peak {
-				peak = mean
+		pts, err := sweepHetero(o, xs,
+			func(x float64) hetero.Config {
+				cfg := base
+				cfg.CrossRatio = x
+				return cfg
+			},
+			func(x float64) int64 { return labelSeed(label) + int64(x*1000) },
+			func(x float64, err error) error { return fmt.Errorf("fig8a %s x=%v: %w", label, x, err) })
+		if err != nil {
+			return nil, err
+		}
+		s, raw := collectSeries(label, pts)
+		for _, v := range raw {
+			if v > peak {
+				peak = v
 			}
 		}
 		curves = append(curves, curve{s, raw})
@@ -112,23 +108,23 @@ func fig8bc(o Options, id, title string, settings []struct {
 		base := fig8Base()
 		base.ServersPerLarge, base.ServersPerSmall = fig8ServerSplit[0], fig8ServerSplit[1]
 		base.HighLinksPerLarge, base.HighCap = set.count, set.speed
-		s := Series{Label: set.label}
-		var raw []float64
-		for _, x := range xs {
-			cfg := base
-			cfg.CrossRatio = x
-			mean, std, err := heteroPoint(o, cfg, labelSeed(set.label)+int64(x*1000))
-			if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
-				continue
-			}
-			if err != nil {
-				return nil, fmt.Errorf("%s %s x=%v: %w", id, set.label, x, err)
-			}
-			s.X = append(s.X, x)
-			raw = append(raw, mean)
-			s.Err = append(s.Err, std)
-			if si == 0 && x == 1.0 {
-				ref = mean
+		pts, err := sweepHetero(o, xs,
+			func(x float64) hetero.Config {
+				cfg := base
+				cfg.CrossRatio = x
+				return cfg
+			},
+			func(x float64) int64 { return labelSeed(set.label) + int64(x*1000) },
+			func(x float64, err error) error { return fmt.Errorf("%s %s x=%v: %w", id, set.label, x, err) })
+		if err != nil {
+			return nil, err
+		}
+		s, raw := collectSeries(set.label, pts)
+		if si == 0 {
+			for _, p := range pts {
+				if p.ok && p.x == 1.0 {
+					ref = p.mean
+				}
 			}
 		}
 		curves = append(curves, curve{s, raw})

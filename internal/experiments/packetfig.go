@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcf"
 	"repro/internal/packet"
+	"repro/internal/runner"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -39,40 +40,56 @@ func Fig13(o Options) (*Figure, error) {
 	}
 	flowS := Series{Label: "Flow-level"}
 	pktS := Series{Label: "Packet-level"}
+	// Flatten (DA, run) so flow solves and packet simulations of all grid
+	// points run concurrently; each task owns an RNG seeded from its point.
+	type point struct{ da, run int }
+	var grid []point
 	for _, da := range das {
-		cfg := topo.VL2Config{DA: da, DI: di, ServersPerToR: serversPerToR}
+		for run := 0; run < runs; run++ {
+			grid = append(grid, point{da, run})
+		}
+	}
+	type meas struct{ flow, pkt float64 }
+	vals, err := runner.Map(o.pool(), len(grid), func(i int) (meas, error) {
+		p := grid[i]
+		cfg := topo.VL2Config{DA: p.da, DI: di, ServersPerToR: serversPerToR}
 		// Size at ~1.3x the designed full-throughput point so λ < 1 and
 		// transport inefficiency is visible.
 		tors := cfg.NumToRs() + cfg.NumToRs()/3
 		if tors < 3 {
 			tors = 3
 		}
+		rng := rand.New(rand.NewSource(o.Seed*131 + int64(p.da*100+p.run)))
+		g, err := topo.RewiredVL2(rng, cfg, tors)
+		if err != nil {
+			return meas{}, fmt.Errorf("fig13 DA=%d: %w", p.da, err)
+		}
+		h := traffic.HostsOf(g)
+		tm := traffic.Permutation(rng, h)
+		res, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: o.Epsilon})
+		if err != nil {
+			return meas{}, err
+		}
+		pr, err := simulatePermutation(g, tm, subflows, warmup, measure, rng)
+		if err != nil {
+			return meas{}, err
+		}
+		return meas{flow: capAtOne(res.Throughput), pkt: capAtOne(pr)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for daIdx, da := range das {
 		var flowSum, pktSum float64
-		n := 0
 		for run := 0; run < runs; run++ {
-			rng := rand.New(rand.NewSource(o.Seed*131 + int64(da*100+run)))
-			g, err := topo.RewiredVL2(rng, cfg, tors)
-			if err != nil {
-				return nil, fmt.Errorf("fig13 DA=%d: %w", da, err)
-			}
-			h := traffic.HostsOf(g)
-			tm := traffic.Permutation(rng, h)
-			res, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: o.Epsilon})
-			if err != nil {
-				return nil, err
-			}
-			pr, err := simulatePermutation(g, tm, subflows, warmup, measure, rng)
-			if err != nil {
-				return nil, err
-			}
-			flowSum += capAtOne(res.Throughput)
-			pktSum += capAtOne(pr)
-			n++
+			v := vals[daIdx*runs+run]
+			flowSum += v.flow
+			pktSum += v.pkt
 		}
 		flowS.X = append(flowS.X, float64(da))
-		flowS.Y = append(flowS.Y, flowSum/float64(n))
+		flowS.Y = append(flowS.Y, flowSum/float64(runs))
 		pktS.X = append(pktS.X, float64(da))
-		pktS.Y = append(pktS.Y, pktSum/float64(n))
+		pktS.Y = append(pktS.Y, pktSum/float64(runs))
 	}
 	return &Figure{
 		ID: "13", Title: fmt.Sprintf("Packet-level MPTCP vs. flow-level optimum (DI=%d)", di),

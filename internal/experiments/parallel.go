@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"errors"
+
+	"repro/internal/hetero"
+	"repro/internal/rrg"
+	"repro/internal/runner"
+)
+
+// pool returns the worker pool used for grid-point evaluation, honoring
+// Options.Parallel (0 = GOMAXPROCS, 1 = serial).
+func (o Options) pool() *runner.Pool { return runner.New(o.Parallel) }
+
+// sweepPoint is one evaluated point of a 1-D parameter sweep.
+type sweepPoint struct {
+	x, mean, std float64
+	ok           bool // false: the point was physically infeasible, skip it
+}
+
+// sweepHetero evaluates a heterogeneous-topology sweep with one concurrent
+// task per grid point, skipping infeasible points. Results come back in
+// grid order, so downstream reduction is byte-identical to a serial run.
+// wrap decorates real errors with the sweep's context.
+func sweepHetero(o Options, xs []float64, cfgAt func(x float64) hetero.Config, seedAt func(x float64) int64, wrap func(x float64, err error) error) ([]sweepPoint, error) {
+	return runner.Map(o.pool(), len(xs), func(i int) (sweepPoint, error) {
+		x := xs[i]
+		mean, std, err := heteroPoint(o, cfgAt(x), seedAt(x))
+		if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
+			return sweepPoint{}, nil
+		}
+		if err != nil {
+			return sweepPoint{}, wrap(x, err)
+		}
+		return sweepPoint{x: x, mean: mean, std: std, ok: true}, nil
+	})
+}
+
+// collectSeries folds kept sweep points into a Series plus the raw means
+// used by the normalization helpers.
+func collectSeries(label string, pts []sweepPoint) (Series, []float64) {
+	s := Series{Label: label}
+	var raw []float64
+	for _, p := range pts {
+		if !p.ok {
+			continue
+		}
+		s.X = append(s.X, p.x)
+		raw = append(raw, p.mean)
+		s.Err = append(s.Err, p.std)
+	}
+	return s, raw
+}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 
@@ -9,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hetero"
 	"repro/internal/rrg"
+	"repro/internal/runner"
 )
 
 // serverRatioXs is the Fig. 4 x grid (ratio of servers-at-large-switches
@@ -21,25 +21,22 @@ func serverRatioXs(quick bool) []float64 {
 }
 
 // sweepServerRatio evaluates one Fig. 4 curve: throughput across server
-// placement ratios, normalized by the curve's peak.
+// placement ratios (one concurrent task per ratio), normalized by the
+// curve's peak. Infeasible ratios are skipped.
 func sweepServerRatio(o Options, label string, base hetero.Config) (Series, error) {
-	s := Series{Label: label}
-	var raw []float64
-	for _, x := range serverRatioXs(o.Quick) {
-		cfg := base
-		cfg.ServersPerLarge, cfg.ServersPerSmall = -1, -1
-		cfg.ServerRatio = x
-		mean, std, err := heteroPoint(o, cfg, labelSeed(label))
-		if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
-			continue // this ratio is not physically realizable
-		}
-		if err != nil {
-			return s, fmt.Errorf("%s x=%v: %w", label, x, err)
-		}
-		s.X = append(s.X, x)
-		raw = append(raw, mean)
-		s.Err = append(s.Err, std)
+	pts, err := sweepHetero(o, serverRatioXs(o.Quick),
+		func(x float64) hetero.Config {
+			cfg := base
+			cfg.ServersPerLarge, cfg.ServersPerSmall = -1, -1
+			cfg.ServerRatio = x
+			return cfg
+		},
+		func(x float64) int64 { return labelSeed(label) },
+		func(x float64, err error) error { return fmt.Errorf("%s x=%v: %w", label, x, err) })
+	if err != nil {
+		return Series{Label: label}, err
 	}
+	s, raw := collectSeries(label, pts)
 	normalizePeak(&s, raw)
 	return s, nil
 }
@@ -221,8 +218,8 @@ func Fig5(o Options) (*Figure, error) {
 		}
 		servers := int(0.4 * float64(totalPorts))
 		s := Series{Label: label}
-		var raw []float64
-		for _, beta := range betas {
+		stats, err := runner.Map(o.pool(), len(betas), func(i int) (core.Stat, error) {
+			beta := betas[i]
 			ev := core.Evaluation{
 				Workload: core.Permutation,
 				Runs:     o.Runs,
@@ -234,9 +231,16 @@ func Fig5(o Options) (*Figure, error) {
 				return hetero.BuildPowerLaw(rng, ports, servers, beta)
 			})
 			if err != nil {
-				return nil, fmt.Errorf("fig5 avg=%v beta=%v: %w", avg, beta, err)
+				return core.Stat{}, fmt.Errorf("fig5 avg=%v beta=%v: %w", avg, beta, err)
 			}
-			s.X = append(s.X, beta)
+			return st, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var raw []float64
+		for i, st := range stats {
+			s.X = append(s.X, betas[i])
 			raw = append(raw, st.Mean)
 			s.Err = append(s.Err, st.Std)
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcf"
 	"repro/internal/rrg"
+	"repro/internal/runner"
 	"repro/internal/spectral"
 	"repro/internal/traffic"
 )
@@ -28,18 +29,22 @@ type Theorem2Point struct {
 // constant factor of the peak.
 func Theorem2Check(o Options, nPerCluster, degree int, crossBudgets []int) ([]Theorem2Point, error) {
 	o = o.withDefaults()
-	var out []Theorem2Point
-	for _, cross := range crossBudgets {
+	type point struct {
+		p  Theorem2Point
+		ok bool
+	}
+	pts, err := runner.Map(o.pool(), len(crossBudgets), func(i int) (point, error) {
+		cross := crossBudgets[i]
 		deg := make([]int, nPerCluster)
 		for i := range deg {
 			deg[i] = degree
 		}
 		x, err := rrg.FeasibleCross(cross, nPerCluster*degree, nPerCluster*degree)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
 		if x == 0 {
-			continue
+			return point{}, nil
 		}
 		var tSum, cutSum float64
 		runs := o.Runs
@@ -49,12 +54,12 @@ func Theorem2Check(o Options, nPerCluster, degree int, crossBudgets []int) ([]Th
 				DegA: deg, DegB: deg, CrossLinks: x, LinkCap: 1,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("theorem2 cross=%d: %w", cross, err)
+				return point{}, fmt.Errorf("theorem2 cross=%d: %w", cross, err)
 			}
 			flows := bipartiteDemand(g, nPerCluster)
 			res, err := mcf.Solve(g, flows, mcf.Options{Epsilon: o.Epsilon})
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
 			inV1 := make([]bool, g.N())
 			for i := 0; i < nPerCluster; i++ {
@@ -63,11 +68,20 @@ func Theorem2Check(o Options, nPerCluster, degree int, crossBudgets []int) ([]Th
 			tSum += res.Throughput
 			cutSum += spectral.SparsestCutBipartite(g, inV1)
 		}
-		out = append(out, Theorem2Point{
+		return point{p: Theorem2Point{
 			CrossLinks:  x,
 			Throughput:  tSum / float64(runs),
 			SparsestCut: cutSum / float64(runs),
-		})
+		}, ok: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Theorem2Point
+	for _, p := range pts {
+		if p.ok {
+			out = append(out, p.p)
+		}
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/runner"
 	"repro/internal/topo"
 )
 
@@ -115,18 +116,36 @@ func Fig12a(o Options) (*Figure, error) {
 		ID: "12a", Title: "Rewired VL2: servers at full throughput (ratio over VL2)",
 		XLabel: "Aggregation Switch Degree (DA)", YLabel: "Servers at Full Throughput (Ratio Over VL2)",
 	}
+	// Each (DA, DI) point is a pair of binary searches — inherently
+	// sequential inside, so parallelize across the flattened grid.
+	type point struct{ di, da int }
+	var grid []point
 	for _, di := range dis {
-		s := Series{Label: fmt.Sprintf("%d Agg Switches (DI=%d)", di, di)}
 		for _, da := range das {
-			ratio, err := rewiredOverVL2(o, core.Permutation, 0, da, di, int64(12100+da*100+di))
-			if err != nil {
-				return nil, fmt.Errorf("fig12a DA=%d DI=%d: %w", da, di, err)
-			}
-			s.X = append(s.X, float64(da))
-			s.Y = append(s.Y, ratio)
+			grid = append(grid, point{di, da})
 		}
-		fig.Series = append(fig.Series, s)
 	}
+	ratios, err := runner.Map(o.pool(), len(grid), func(i int) (float64, error) {
+		p := grid[i]
+		ratio, err := rewiredOverVL2(o, core.Permutation, 0, p.da, p.di, int64(12100+p.da*100+p.di))
+		if err != nil {
+			return 0, fmt.Errorf("fig12a DA=%d DI=%d: %w", p.da, p.di, err)
+		}
+		return ratio, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([]Series, len(dis))
+	for si, di := range dis {
+		series[si] = Series{Label: fmt.Sprintf("%d Agg Switches (DI=%d)", di, di)}
+	}
+	for i, p := range grid {
+		s := &series[i/len(das)]
+		s.X = append(s.X, float64(p.da))
+		s.Y = append(s.Y, ratios[i])
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -172,42 +191,68 @@ func Fig12b(o Options) (*Figure, error) {
 		XLabel: "Aggregation Switch Degree (DA)", YLabel: "Normalized Throughput",
 	}
 	fractions := []float64{0.2, 0.6, 1.0}
-	for _, frac := range fractions {
-		s := Series{Label: fmt.Sprintf("%d%% Chunky", int(frac*100))}
-		for _, da := range das {
-			cfg := topo.VL2Config{DA: da, DI: di}
-			// Size the topology at its permutation-full-throughput point.
-			tors, err := maxToRs(o, core.Permutation, 0, 1, cfg.NumToRs()*2+4, 20, func(t int) core.Builder {
-				return func(rng *rand.Rand) (*graph.Graph, error) {
-					return topo.RewiredVL2(rng, cfg, t)
-				}
-			}, int64(12200+da))
-			if err != nil {
-				return nil, err
-			}
-			if tors < 2 {
-				continue
-			}
-			ev := core.Evaluation{
-				Workload: core.Chunky, ChunkyFraction: frac,
-				Runs: o.Runs, Seed: o.Seed + int64(12250+da), Epsilon: o.Epsilon, Parallel: o.Parallel,
-			}
-			st, err := ev.Throughput(func(rng *rand.Rand) (*graph.Graph, error) {
-				return topo.RewiredVL2(rng, cfg, tors)
-			})
-			if err != nil {
-				return nil, err
-			}
-			y := st.Mean
-			if y > 1 {
-				y = 1 // full throughput; demands are 1 unit per server
-			}
-			s.X = append(s.X, float64(da))
-			s.Y = append(s.Y, y)
-			s.Err = append(s.Err, st.Std)
-		}
-		fig.Series = append(fig.Series, s)
+	type point struct {
+		frac float64
+		da   int
 	}
+	var grid []point
+	for _, frac := range fractions {
+		for _, da := range das {
+			grid = append(grid, point{frac, da})
+		}
+	}
+	type meas struct {
+		y, std float64
+		ok     bool
+	}
+	vals, err := runner.Map(o.pool(), len(grid), func(i int) (meas, error) {
+		p := grid[i]
+		cfg := topo.VL2Config{DA: p.da, DI: di}
+		// Size the topology at its permutation-full-throughput point.
+		tors, err := maxToRs(o, core.Permutation, 0, 1, cfg.NumToRs()*2+4, 20, func(t int) core.Builder {
+			return func(rng *rand.Rand) (*graph.Graph, error) {
+				return topo.RewiredVL2(rng, cfg, t)
+			}
+		}, int64(12200+p.da))
+		if err != nil {
+			return meas{}, err
+		}
+		if tors < 2 {
+			return meas{}, nil
+		}
+		ev := core.Evaluation{
+			Workload: core.Chunky, ChunkyFraction: p.frac,
+			Runs: o.Runs, Seed: o.Seed + int64(12250+p.da), Epsilon: o.Epsilon, Parallel: o.Parallel,
+		}
+		st, err := ev.Throughput(func(rng *rand.Rand) (*graph.Graph, error) {
+			return topo.RewiredVL2(rng, cfg, tors)
+		})
+		if err != nil {
+			return meas{}, err
+		}
+		y := st.Mean
+		if y > 1 {
+			y = 1 // full throughput; demands are 1 unit per server
+		}
+		return meas{y: y, std: st.Std, ok: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([]Series, len(fractions))
+	for fi, frac := range fractions {
+		series[fi] = Series{Label: fmt.Sprintf("%d%% Chunky", int(frac*100))}
+	}
+	for i, p := range grid {
+		if !vals[i].ok {
+			continue
+		}
+		s := &series[i/len(das)]
+		s.X = append(s.X, float64(p.da))
+		s.Y = append(s.Y, vals[i].y)
+		s.Err = append(s.Err, vals[i].std)
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -235,17 +280,36 @@ func Fig12c(o Options) (*Figure, error) {
 		{"Permutation Traffic", core.Permutation, 0},
 		{"100% Chunky Traffic", core.Chunky, 1.0},
 	}
-	for ci, c := range cases {
-		s := Series{Label: c.label}
-		for _, da := range das {
-			ratio, err := rewiredOverVL2(o, c.w, c.frac, da, di, int64(12300+ci*997+da))
-			if err != nil {
-				return nil, fmt.Errorf("fig12c %s DA=%d: %w", c.label, da, err)
-			}
-			s.X = append(s.X, float64(da))
-			s.Y = append(s.Y, ratio)
-		}
-		fig.Series = append(fig.Series, s)
+	type point struct {
+		ci, da int
 	}
+	var grid []point
+	for ci := range cases {
+		for _, da := range das {
+			grid = append(grid, point{ci, da})
+		}
+	}
+	ratios, err := runner.Map(o.pool(), len(grid), func(i int) (float64, error) {
+		p := grid[i]
+		c := cases[p.ci]
+		ratio, err := rewiredOverVL2(o, c.w, c.frac, p.da, di, int64(12300+p.ci*997+p.da))
+		if err != nil {
+			return 0, fmt.Errorf("fig12c %s DA=%d: %w", c.label, p.da, err)
+		}
+		return ratio, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([]Series, len(cases))
+	for ci, c := range cases {
+		series[ci] = Series{Label: c.label}
+	}
+	for i, p := range grid {
+		s := &series[p.ci]
+		s.X = append(s.X, float64(p.da))
+		s.Y = append(s.Y, ratios[i])
+	}
+	fig.Series = series
 	return fig, nil
 }

@@ -1,0 +1,110 @@
+package graph
+
+import "math"
+
+// DijkstraScratch holds reusable state for repeated shortest-path-tree
+// computations over one graph. The flow solver runs thousands of Dijkstras
+// per solve under an evolving length function; the scratch makes each run
+// allocation-free: dist/via validity is tracked with an epoch stamp (no
+// O(n) clearing between runs) and the heap keeps its backing array.
+//
+// A scratch is bound to the graph that created it and must not be used
+// after links are added. It is not safe for concurrent use; create one
+// scratch per goroutine.
+type DijkstraScratch struct {
+	g     *Graph
+	dist  []float64
+	via   []int32
+	stamp []uint32 // dist/via valid iff stamp == epoch
+	tmark []uint32 // pending-target marker, same epoch discipline
+	epoch uint32
+	heap  []item
+}
+
+// NewDijkstraScratch returns a scratch sized for g.
+func (g *Graph) NewDijkstraScratch() *DijkstraScratch {
+	return &DijkstraScratch{
+		g:     g,
+		dist:  make([]float64, g.n),
+		via:   make([]int32, g.n),
+		stamp: make([]uint32, g.n),
+		tmark: make([]uint32, g.n),
+	}
+}
+
+// Run computes the shortest-path tree from src under the per-arc lengths.
+// If targets is non-empty, the run stops as soon as every target is
+// settled: dist/via are then final for the targets and every node on a
+// shortest path to them, but not necessarily for other nodes. Lengths must
+// be non-negative. Results are read with Dist/Via/Reached and stay valid
+// until the next Run.
+func (d *DijkstraScratch) Run(src int, length []float64, targets []int32) {
+	d.epoch++
+	if d.epoch == 0 { // wrapped: every stale stamp is suddenly "current"
+		for i := range d.stamp {
+			d.stamp[i], d.tmark[i] = 0, 0
+		}
+		d.epoch = 1
+	}
+	e := d.epoch
+	c := d.g.csrView()
+	pending := 0
+	for _, t := range targets {
+		if d.tmark[t] != e {
+			d.tmark[t] = e
+			pending++
+		}
+	}
+	earlyExit := pending > 0
+	d.dist[src] = 0
+	d.via[src] = -1
+	d.stamp[src] = e
+	h := heapF{a: d.heap[:0]}
+	h.push(item{node: int32(src), d: 0})
+	for h.len() > 0 {
+		it := h.pop()
+		if it.d > d.dist[it.node] {
+			continue // stale entry; the node settled at a smaller distance
+		}
+		if earlyExit && d.tmark[it.node] == e {
+			d.tmark[it.node] = 0
+			pending--
+			if pending == 0 {
+				break
+			}
+		}
+		for k, end := c.start[it.node], c.start[it.node+1]; k < end; k++ {
+			v := c.to[k]
+			a := c.arc[k]
+			nd := it.d + length[a]
+			if d.stamp[v] != e || nd < d.dist[v] {
+				d.dist[v] = nd
+				d.via[v] = a
+				d.stamp[v] = e
+				h.push(item{node: v, d: nd})
+			}
+		}
+	}
+	d.heap = h.a
+}
+
+// Dist returns the distance of v from the last Run's source, or +Inf if v
+// was not reached.
+func (d *DijkstraScratch) Dist(v int) float64 {
+	if d.stamp[v] != d.epoch {
+		return math.Inf(1)
+	}
+	return d.dist[v]
+}
+
+// Via returns the arc used to reach v in the last Run's tree, or -1 for
+// the source and unreached nodes.
+func (d *DijkstraScratch) Via(v int) int32 {
+	if d.stamp[v] != d.epoch {
+		return -1
+	}
+	return d.via[v]
+}
+
+// Reached reports whether v was reached by the last Run.
+func (d *DijkstraScratch) Reached(v int) bool { return d.stamp[v] == d.epoch }

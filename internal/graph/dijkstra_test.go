@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomWeighted builds a connected-ish random multigraph with random arc
+// lengths for scratch testing.
+func randomWeighted(t *testing.T, rng *rand.Rand, n, links int) (*Graph, []float64) {
+	t.Helper()
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddLink(rng.Intn(i), i, 1+rng.Float64())
+	}
+	for i := n - 1; i < links; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddLink(u, v, 1+rng.Float64())
+		}
+	}
+	lens := make([]float64, g.NumArcs())
+	for a := range lens {
+		lens[a] = 0.01 + rng.Float64()
+	}
+	return g, lens
+}
+
+// TestScratchMatchesDijkstra: repeated scratch runs must agree with the
+// allocating Dijkstra on every reachable node, across many epochs.
+func TestScratchMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, lens := randomWeighted(t, rng, 60, 180)
+	scratch := g.NewDijkstraScratch()
+	for trial := 0; trial < 30; trial++ {
+		src := rng.Intn(g.N())
+		for a := range lens {
+			lens[a] *= 1 + 0.1*rng.Float64() // evolve lengths like the solver does
+		}
+		dist, via := g.Dijkstra(src, lens)
+		scratch.Run(src, lens, nil)
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(scratch.Dist(v)-dist[v]) > 1e-12 && !(math.IsInf(dist[v], 1) && math.IsInf(scratch.Dist(v), 1)) {
+				t.Fatalf("trial %d: dist[%d] scratch %v, want %v", trial, v, scratch.Dist(v), dist[v])
+			}
+			if scratch.Via(v) != via[v] {
+				t.Fatalf("trial %d: via[%d] scratch %v, want %v", trial, v, scratch.Via(v), via[v])
+			}
+		}
+	}
+}
+
+// TestScratchEarlyExit: with targets, the settled targets and their path
+// predecessors must carry final distances.
+func TestScratchEarlyExit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, lens := randomWeighted(t, rng, 80, 240)
+	scratch := g.NewDijkstraScratch()
+	for trial := 0; trial < 30; trial++ {
+		src := rng.Intn(g.N())
+		var targets []int32
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			targets = append(targets, int32(rng.Intn(g.N())))
+		}
+		full, fullVia := g.Dijkstra(src, lens)
+		scratch.Run(src, lens, targets)
+		for _, tgt := range targets {
+			if math.IsInf(full[tgt], 1) {
+				continue
+			}
+			if math.Abs(scratch.Dist(int(tgt))-full[tgt]) > 1e-12 {
+				t.Fatalf("trial %d: target %d dist %v, want %v", trial, tgt, scratch.Dist(int(tgt)), full[tgt])
+			}
+			// Walk the via chain back to src; every hop must be final.
+			at := int(tgt)
+			for steps := 0; at != src; steps++ {
+				if steps > g.N() {
+					t.Fatalf("trial %d: via chain from %d does not terminate", trial, tgt)
+				}
+				a := scratch.Via(at)
+				if a < 0 {
+					t.Fatalf("trial %d: broken via chain at %d", trial, at)
+				}
+				from := int(g.Arc(int(a)).From)
+				if math.Abs(scratch.Dist(from)-full[from]) > 1e-12 {
+					t.Fatalf("trial %d: predecessor %d not final", trial, from)
+				}
+				at = from
+			}
+		}
+		_ = fullVia
+	}
+}
+
+// TestScratchTargetDuplicates: duplicate targets must not wedge the
+// early-exit countdown.
+func TestScratchTargetDuplicates(t *testing.T) {
+	g := New(3)
+	g.AddLink(0, 1, 1)
+	g.AddLink(1, 2, 1)
+	lens := []float64{1, 1, 1, 1}
+	s := g.NewDijkstraScratch()
+	s.Run(0, lens, []int32{2, 2, 2, 1, 1})
+	if s.Dist(2) != 2 {
+		t.Fatalf("dist(2) = %v, want 2", s.Dist(2))
+	}
+	if !s.Reached(1) || s.Dist(1) != 1 {
+		t.Fatalf("node 1 not settled correctly: %v", s.Dist(1))
+	}
+}
+
+// TestCSRInvalidatedByAddLink: paths computed after a mutation must see
+// the new link.
+func TestCSRInvalidatedByAddLink(t *testing.T) {
+	g := New(4)
+	g.AddLink(0, 1, 1)
+	g.AddLink(1, 2, 1)
+	if d := g.BFS(0); d[3] != -1 {
+		t.Fatalf("node 3 should be unreachable, got %d", d[3])
+	}
+	g.AddLink(2, 3, 1)
+	if d := g.BFS(0); d[3] != 3 {
+		t.Fatalf("after AddLink, dist to 3 = %d, want 3", d[3])
+	}
+	lens := make([]float64, g.NumArcs())
+	for i := range lens {
+		lens[i] = 1
+	}
+	dist, _ := g.Dijkstra(0, lens)
+	if dist[3] != 3 {
+		t.Fatalf("Dijkstra after AddLink: dist[3] = %v, want 3", dist[3])
+	}
+}

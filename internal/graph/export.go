@@ -70,6 +70,13 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		}
 		ng.AddLink(l.U, l.V, l.Cap)
 	}
-	*g = *ng
+	// Adopt ng's fields individually: Graph holds an atomic CSR cache that
+	// must not be copied as a value.
+	g.n = ng.n
+	g.servers = ng.servers
+	g.class = ng.class
+	g.arcs = ng.arcs
+	g.adj = ng.adj
+	g.csrCache.Store(nil)
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Arc is one direction of an undirected link.
@@ -34,6 +35,47 @@ type Graph struct {
 	class   []int     // optional node class (e.g. ToR / Agg / Core), default 0
 	arcs    []Arc     // directed arcs; arc a's reverse is a ^ 1
 	adj     [][]int32 // arc indices leaving each node
+
+	// csrCache holds the lazily built CSR view of the adjacency used by the
+	// traversal hot paths; it is invalidated by AddLink. Concurrent readers
+	// may race to build it, which is harmless: the build is deterministic
+	// and the last store wins.
+	csrCache atomic.Pointer[csr]
+}
+
+// csr is a compressed-sparse-row view of the adjacency: the out-arcs of
+// node u occupy positions start[u]..start[u+1] of the flat arrays. Keeping
+// destination and arc index in parallel slices makes the Dijkstra/BFS inner
+// loops walk contiguous memory instead of chasing per-node slice headers.
+type csr struct {
+	start []int32 // len n+1
+	to    []int32 // len m: destination of the k-th adjacency entry
+	arc   []int32 // len m: original arc index of the k-th adjacency entry
+}
+
+// csrView returns the CSR adjacency, building it on first use.
+func (g *Graph) csrView() *csr {
+	if c := g.csrCache.Load(); c != nil {
+		return c
+	}
+	m := len(g.arcs)
+	c := &csr{
+		start: make([]int32, g.n+1),
+		to:    make([]int32, m),
+		arc:   make([]int32, m),
+	}
+	pos := int32(0)
+	for u := 0; u < g.n; u++ {
+		c.start[u] = pos
+		for _, a := range g.adj[u] {
+			c.to[pos] = g.arcs[a].To
+			c.arc[pos] = a
+			pos++
+		}
+	}
+	c.start[g.n] = pos
+	g.csrCache.Store(c)
+	return c
 }
 
 // New returns a graph with n nodes and no links.
@@ -98,6 +140,7 @@ func (g *Graph) AddLink(u, v int, capacity float64) int {
 	)
 	g.adj[u] = append(g.adj[u], int32(2*id))
 	g.adj[v] = append(g.adj[v], int32(2*id+1))
+	g.csrCache.Store(nil)
 	return id
 }
 

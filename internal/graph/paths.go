@@ -1,10 +1,9 @@
 package graph
 
-import "math"
-
 // BFS computes unweighted (hop-count) shortest-path distances from src.
 // Unreachable nodes get distance -1.
 func (g *Graph) BFS(src int) []int {
+	c := g.csrView()
 	dist := make([]int, g.n)
 	for i := range dist {
 		dist[i] = -1
@@ -16,8 +15,8 @@ func (g *Graph) BFS(src int) []int {
 		u := queue[0]
 		queue = queue[1:]
 		du := dist[u]
-		for _, a := range g.adj[u] {
-			v := g.arcs[a].To
+		for k, end := c.start[u], c.start[u+1]; k < end; k++ {
+			v := c.to[k]
 			if dist[v] < 0 {
 				dist[v] = du + 1
 				queue = append(queue, v)
@@ -180,6 +179,7 @@ func (g *Graph) ShortestPathDAGPaths(src, dst, k int) []Path {
 }
 
 func (g *Graph) bfsFrom(src int) []int32 {
+	c := g.csrView()
 	dist := make([]int32, g.n)
 	for i := range dist {
 		dist[i] = -1
@@ -189,10 +189,11 @@ func (g *Graph) bfsFrom(src int) []int32 {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, a := range g.adj[u] {
-			v := g.arcs[a].To
+		du := dist[u]
+		for k, end := c.start[u], c.start[u+1]; k < end; k++ {
+			v := c.to[k]
 			if dist[v] < 0 {
-				dist[v] = dist[u] + 1
+				dist[v] = du + 1
 				queue = append(queue, v)
 			}
 		}
@@ -236,30 +237,17 @@ func (g *Graph) CountShortestPaths(src, dst, limit int) int {
 // Dijkstra computes weighted shortest-path distances from src using the
 // provided per-arc lengths, returning distances and, for each node, the arc
 // used to reach it (-1 for src/unreachable). Lengths must be non-negative.
+//
+// Dijkstra allocates its result slices; hot paths that run many trees over
+// one graph should use NewDijkstraScratch instead.
 func (g *Graph) Dijkstra(src int, length []float64) (dist []float64, via []int32) {
+	s := g.NewDijkstraScratch()
+	s.Run(src, length, nil)
 	dist = make([]float64, g.n)
 	via = make([]int32, g.n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		via[i] = -1
-	}
-	dist[src] = 0
-	h := &heapF{}
-	h.push(item{node: int32(src), d: 0})
-	for h.len() > 0 {
-		it := h.pop()
-		if it.d > dist[it.node] {
-			continue
-		}
-		for _, a := range g.adj[it.node] {
-			v := g.arcs[a].To
-			nd := it.d + length[a]
-			if nd < dist[v] {
-				dist[v] = nd
-				via[v] = a
-				h.push(item{node: v, d: nd})
-			}
-		}
+	for i := 0; i < g.n; i++ {
+		dist[i] = s.Dist(i)
+		via[i] = s.Via(i)
 	}
 	return dist, via
 }
@@ -269,8 +257,9 @@ type item struct {
 	d    float64
 }
 
-// heapF is a minimal binary min-heap on (d, node). We avoid container/heap
-// to skip interface boxing in the solver's hot loop.
+// heapF is a minimal 4-ary min-heap on (d, node). We avoid container/heap
+// to skip interface boxing in the solver's hot loop; the 4-ary layout
+// halves the sift-down depth, which dominates Dijkstra's heap cost.
 type heapF struct{ a []item }
 
 func (h *heapF) len() int { return len(h.a) }
@@ -279,7 +268,7 @@ func (h *heapF) push(x item) {
 	h.a = append(h.a, x)
 	i := len(h.a) - 1
 	for i > 0 {
-		p := (i - 1) / 2
+		p := (i - 1) / 4
 		if h.a[p].d <= h.a[i].d {
 			break
 		}
@@ -295,15 +284,21 @@ func (h *heapF) pop() item {
 	h.a = h.a[:last]
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < last && h.a[l].d < h.a[m].d {
-			m = l
+		c := 4*i + 1
+		if c >= last {
+			break
 		}
-		if r < last && h.a[r].d < h.a[m].d {
-			m = r
+		end := c + 4
+		if end > last {
+			end = last
 		}
-		if m == i {
+		m := c
+		for k := c + 1; k < end; k++ {
+			if h.a[k].d < h.a[m].d {
+				m = k
+			}
+		}
+		if h.a[m].d >= h.a[i].d {
 			break
 		}
 		h.a[i], h.a[m] = h.a[m], h.a[i]

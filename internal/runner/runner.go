@@ -1,0 +1,119 @@
+// Package runner is the worker-pool substrate of the experiment layer.
+//
+// Every figure of the evaluation is a grid of independent measurements:
+// (topology family × parameter × run) points that share no state beyond
+// read-only options. Map evaluates such a grid concurrently, bounded by
+// GOMAXPROCS by default, and returns results indexed exactly as the grid
+// was enumerated. Callers keep all randomness inside each task, seeded
+// deterministically from (base seed, point index), and reduce the returned
+// slice serially in index order — so parallel output is byte-identical to
+// a serial run of the same grid.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count option: n <= 0 means GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Pool bounds the concurrency of grid evaluations. The zero value is not
+// usable; call New. A Pool holds no goroutines between calls — each Map
+// spins up at most Workers goroutines and joins them before returning.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers tasks concurrently;
+// workers <= 0 means GOMAXPROCS. New(1) yields a pool that runs tasks
+// inline on the calling goroutine, which is the serial reference mode.
+func New(workers int) *Pool {
+	return &Pool{workers: Workers(workers)}
+}
+
+// Serial reports whether the pool runs tasks inline without goroutines.
+func (p *Pool) Serial() bool { return p.workers <= 1 }
+
+// Map evaluates fn(0), …, fn(n-1) on the pool and returns the results in
+// index order. fn must be safe for concurrent invocation with distinct
+// indices (it is called inline when the pool is serial).
+//
+// Error semantics match a serial loop: if any tasks fail, Map returns the
+// error of the lowest failing index. Tasks with indices above the lowest
+// known failure may be skipped, but every index below it is evaluated, so
+// the returned error is deterministic.
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if p.Serial() || n == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		errIdx   = -1
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				skip := errIdx >= 0 && errIdx < i
+				mu.Unlock()
+				if skip {
+					continue
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx >= 0 {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Each is Map for tasks with no result value.
+func Each(p *Pool, n int, fn func(i int) error) error {
+	_, err := Map(p, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
