@@ -5,11 +5,17 @@
 //
 // Usage:
 //
-//	benchjson [-o dir] [-benchtime 1s]
+//	benchjson [-o dir] [-benchtime 1s] [-baseline BENCH_x.json] [-gate name=pct,...]
 //
-// The snapshot covers the flow solver (scale and epsilon ablations), the
-// bisection-bandwidth estimator, and two representative figure runners in
-// quick mode (one grid-heavy, one decomposition-heavy).
+// The snapshot covers the flow solver (scale, epsilon, and repair-vs-
+// rebuild ablations), the bisection-bandwidth estimator, and two
+// representative figure runners in quick mode (one grid-heavy, one
+// decomposition-heavy).
+//
+// With -baseline, the fresh snapshot is compared entry-by-entry against a
+// committed earlier snapshot; -gate turns selected comparisons into hard
+// failures, e.g. -gate "SolverScale/n=80=25" exits non-zero if that
+// benchmark's ns/op regressed more than 25% — the CI perf gate.
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -52,6 +60,8 @@ func main() {
 	testing.Init() // register test.* flags so benchtime is settable
 	out := flag.String("o", ".", "output directory for BENCH_<date>.json")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target runtime")
+	baseline := flag.String("baseline", "", "earlier BENCH_*.json to compare the fresh snapshot against")
+	gate := flag.String("gate", "", "comma-separated name=maxRegressPct gates enforced against -baseline")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fatal(err)
@@ -89,6 +99,12 @@ func main() {
 			benchSolve(b, 40, 10, 5, eps)
 		})
 	}
+	for _, mode := range []string{"repair", "rebuild"} {
+		mode := mode
+		add("SolverRepair/"+mode, func(b *testing.B) {
+			benchRepair(b, 400, 6, mode == "repair")
+		})
+	}
 	add("BisectionBandwidth/n=200", func(b *testing.B) {
 		rng := rand.New(rand.NewSource(1))
 		g, err := rrg.Regular(rng, 200, 10)
@@ -120,6 +136,85 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(path)
+
+	if *baseline != "" {
+		if err := compare(*baseline, &snap, *gate); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// compare prints per-entry deltas against a baseline snapshot and enforces
+// the -gate regression limits.
+func compare(baselinePath string, snap *Snapshot, gates string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseBy := make(map[string]Entry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseBy[e.Name] = e
+	}
+	limits := map[string]float64{}
+	if gates != "" {
+		for _, g := range strings.Split(gates, ",") {
+			g = strings.TrimSpace(g)
+			// Benchmark names contain '=' (SolverScale/n=80), so the limit
+			// is everything after the LAST '='.
+			cut := strings.LastIndex(g, "=")
+			if cut < 0 {
+				return fmt.Errorf("bad -gate entry %q (want name=pct)", g)
+			}
+			name, pctStr := g[:cut], g[cut+1:]
+			pct, err := strconv.ParseFloat(pctStr, 64)
+			if err != nil {
+				return fmt.Errorf("bad -gate percentage in %q: %w", g, err)
+			}
+			limits[name] = pct
+		}
+	}
+	fmt.Fprintf(os.Stderr, "\nvs baseline %s (%s):\n", baselinePath, base.Date)
+	var failures []string
+	for _, e := range snap.Entries {
+		b, ok := baseBy[e.Name]
+		if !ok || b.NsPerOp == 0 {
+			fmt.Fprintf(os.Stderr, "  %-28s %12d ns/op  (no baseline)\n", e.Name, e.NsPerOp)
+			continue
+		}
+		delta := 100 * (float64(e.NsPerOp) - float64(b.NsPerOp)) / float64(b.NsPerOp)
+		mark := ""
+		if lim, gated := limits[e.Name]; gated {
+			mark = fmt.Sprintf("  [gate %.0f%%]", lim)
+			if delta > lim {
+				mark += " FAIL"
+				failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%): %d -> %d ns/op",
+					e.Name, delta, lim, b.NsPerOp, e.NsPerOp))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "  %-28s %12d ns/op  %+7.1f%%%s\n", e.Name, e.NsPerOp, delta, mark)
+	}
+	// A gate that matches nothing must fail loudly — otherwise renaming a
+	// benchmark silently turns the CI gate vacuous.
+	snapBy := make(map[string]bool, len(snap.Entries))
+	for _, e := range snap.Entries {
+		snapBy[e.Name] = true
+	}
+	for name := range limits {
+		if b, ok := baseBy[name]; !ok || b.NsPerOp == 0 {
+			failures = append(failures, fmt.Sprintf("gated benchmark %s missing from baseline", name))
+		}
+		if !snapBy[name] {
+			failures = append(failures, fmt.Sprintf("gated benchmark %s missing from this run", name))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func benchSolve(b *testing.B, n, r, sps int, eps float64) {
@@ -137,6 +232,41 @@ func benchSolve(b *testing.B, n, r, sps int, eps float64) {
 	for i := 0; i < b.N; i++ {
 		if _, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: eps}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchRepair mirrors the repository's BenchmarkSolverRepair: per
+// iteration, one cross-traffic batch of arc length growths, then bring the
+// shortest-path tree current by incremental repair or full rebuild.
+func benchRepair(b *testing.B, n, r int, repair bool) {
+	g, err := rrg.Regular(rand.New(rand.NewSource(1)), n, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := g.NumArcs()
+	lens := make([]float64, m)
+	rng := rand.New(rand.NewSource(2))
+	for a := range lens {
+		lens[a] = 1 + 1e-3*rng.Float64()
+	}
+	d := g.NewDijkstraScratch()
+	d.Run(0, lens, nil)
+	changed := make([]int32, 0, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		changed = changed[:0]
+		for k := 0; k < 12; k++ {
+			a := int32(rng.Intn(m))
+			lens[a] *= 1 + 1e-9
+			changed = append(changed, a)
+		}
+		if repair {
+			if !d.Repair(lens, changed) {
+				b.Fatal("repair refused")
+			}
+		} else {
+			d.Run(0, lens, nil)
 		}
 	}
 }

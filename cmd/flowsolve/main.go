@@ -4,11 +4,15 @@
 // Usage:
 //
 //	topogen -kind rrg -n 40 -r 10 -servers 200 -format json > g.json
-//	flowsolve -graph g.json -tm permutation [-eps 0.05] [-seed 1] [-detail]
+//	flowsolve -graph g.json -tm permutation [-eps 0.05] [-seed 1] [-detail] [-verify]
 //
 // Traffic matrices: permutation | all-to-all | chunky:<fraction>.
 // With -detail, per-link-class utilization and the §6.1 decomposition are
-// printed alongside the throughput.
+// printed alongside the throughput. With -verify, the solve records its
+// path decomposition and the internal/flowcheck verifier replays
+// conservation, capacity, demand proportionality, and the primal-dual
+// ε-gap from first principles, printing the report (non-zero exit on
+// failure).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/flowcheck"
 	"repro/internal/graph"
 	"repro/internal/mcf"
 	"repro/internal/routing"
@@ -36,6 +41,7 @@ func main() {
 		detail    = flag.Bool("detail", false, "print decomposition and per-class utilization")
 		lpOut     = flag.String("lp", "", "also write the CPLEX LP file for this instance (TopoBench parity)")
 		ecmp      = flag.Bool("ecmp", false, "also report static ECMP-over-shortest-paths throughput")
+		verify    = flag.Bool("verify", false, "independently verify the flow (conservation, capacity, demand, ε-gap) and print the report")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -89,14 +95,24 @@ func main() {
 		fmt.Printf("lp written:   %s\n", *lpOut)
 	}
 
-	res, err := mcf.Solve(&g, tm.Flows, mcf.Options{Epsilon: *eps})
+	res, err := mcf.Solve(&g, tm.Flows, mcf.Options{Epsilon: *eps, RecordPaths: *verify})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("throughput:   %.5f per unit demand\n", res.Throughput)
 	fmt.Printf("commodities:  %d (%d server flows, %d colocated)\n",
 		len(tm.Flows), tm.ServerFlows, tm.Colocated)
-	fmt.Printf("phases:       %d\n", res.Phases)
+	fmt.Printf("phases:       %d (%d tree builds, %d repairs)\n", res.Phases, res.TreeBuilds, res.TreeRepairs)
+	if *verify {
+		rep, err := flowcheck.Verify(&g, tm.Flows, res, flowcheck.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep)
+		if !rep.OK() {
+			fatal(rep.Err())
+		}
+	}
 	if *ecmp {
 		er, err := routing.ECMP(&g, tm.Flows)
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -50,6 +51,9 @@ func main() {
 	if !*parallel {
 		par = 1
 	}
+	// Bound TOTAL in-flight work (across nested grid/run/simulation
+	// parallelism) to the requested worker count, not just each level.
+	runner.SetMaxInFlight(par)
 	opts := experiments.Options{Runs: *runs, Seed: *seed, Epsilon: *eps, Quick: *quick, Parallel: par}
 
 	switch {

@@ -30,12 +30,46 @@
 // with incremental Kernighan–Lin swap gains (O(1) per candidate pair)
 // rather than recomputing the full cut capacity per pair.
 //
+// Dynamic tree repair. Stale shortest-path trees need not be rebuilt:
+// because Garg–Könemann lengths only grow, graph.DijkstraScratch.Repair
+// (increase-only Ramalingam–Reps) re-relaxes exactly the subtrees hanging
+// below grown tree arcs, seeded from the unaffected boundary, and matches
+// a from-scratch Dijkstra bit-for-bit when shortest paths are unique.
+// Repair is valid only for complete trees (no early exit) and wins only
+// when the stale region is a small fraction of the tree — growth scattered
+// by other sources' routing ("cross-traffic") qualifies; growth along the
+// tree's own root paths does not, since the stale subtree then hangs off
+// the root. mcf.Solve therefore applies it adaptively: sources whose trees
+// go stale more than once per phase get full repairable builds, repairs
+// bail beyond a budget of N/2 affected nodes, and a kill switch reverts
+// the solve to early-exit rebuilds when repairs keep losing.
+//
 // Experiment layer. internal/runner provides the worker pool that the
 // figure runners, core.Evaluation, and the packet-simulation sweeps map
 // their grids onto. Every task seeds its RNG deterministically from
 // (Options.Seed, point index) and results are reduced in grid order, so
 // parallel output is byte-identical to serial output; topobench runs
-// parallel by default (-parallel=false forces serial). cmd/benchjson
-// snapshots the hot-path benchmarks to BENCH_<date>.json so perf is
-// tracked across PRs.
+// parallel by default (-parallel=false forces serial). Nested pools share
+// one process-wide weighted semaphore, so total in-flight work stays
+// bounded by runner.SetMaxInFlight (GOMAXPROCS by default) no matter how
+// grids, runs, and simulations nest. cmd/benchjson snapshots the hot-path
+// benchmarks to BENCH_<date>.json so perf is tracked across PRs, and in
+// CI compares them to the committed baseline, failing on hot-path
+// regressions.
+//
+// # Verifying results
+//
+// The solver's output is not trusted, it is certified. internal/flowcheck
+// replays every claim from first principles, sharing none of the solver's
+// machinery: flow conservation at every node, per-arc capacity after
+// congestion scaling, per-commodity demand proportionality, and the
+// primal-dual ε-optimality gap against a dual bound recomputed with an
+// independent Dijkstra from the exported length witness (mcf.Result.
+// DualLens). Solve with mcf.Options.RecordPaths to export the path
+// decomposition the structural checks need, or pass -verify to
+// cmd/flowsolve for the one-shot report. The property tests in
+// internal/mcf certify randomized instances on every run, and the golden
+// tests in internal/experiments pin representative figure outputs
+// byte-for-byte (regenerate intentional drift with `go test
+// ./internal/experiments -run TestGolden -update` and review the diff).
 package repro

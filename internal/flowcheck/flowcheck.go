@@ -1,0 +1,357 @@
+// Package flowcheck is an independent verifier for the flows emitted by
+// the internal/mcf solver. The paper's throughput comparisons are only as
+// trustworthy as the solver, and the solver has accumulated aggressive
+// optimizations (early stopping, persistent trees, incremental repair);
+// flowcheck replays the claims from first principles, sharing none of the
+// solver's hot-path machinery:
+//
+//   - decomposition: the recorded path decomposition is structurally a
+//     flow — every path runs contiguously from its commodity's source to
+//     its destination with positive volume, and the per-arc sums
+//     reconstruct Result.ArcFlow.
+//   - conservation: per-node net flow of ArcFlow equals the commodity
+//     volumes entering/leaving that node (zero at transit nodes).
+//   - capacity: no arc carries more than its capacity after the solver's
+//     congestion scaling.
+//   - demand: every commodity receives at least Throughput·demand —
+//     concurrent-flow proportionality.
+//   - optimality: the ε-gap. Result.DualLens is a length-function witness;
+//     weak duality gives λ* ≤ Σ l·cap / Σ demand·dist_l for ANY
+//     non-negative lengths l, so the verifier recomputes both sides with
+//     its own from-scratch Dijkstra and checks the claimed throughput is
+//     within the tolerated gap of that bound. The witness comes from the
+//     solver, but its validity does not depend on the solver being
+//     correct.
+//
+// The first four checks need Result.Paths, i.e. a solve with
+// Options.RecordPaths set; without it they are reported as skipped.
+package flowcheck
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/traffic"
+)
+
+// Options tunes the verifier's tolerances.
+type Options struct {
+	// Tolerance is the relative numerical slack for flow arithmetic
+	// (conservation, capacity, decomposition sums). Default 1e-6: the
+	// verifier re-sums volumes in a different order than the solver
+	// accumulated them, so exact equality is not expected.
+	Tolerance float64
+	// GapTolerance is the accepted relative optimality gap against the
+	// dual bound. Default 3·Result.Epsilon, the classical Garg–Könemann
+	// guarantee against the best per-phase dual bound (whose length
+	// snapshot is the exported witness). Solves that end on the early
+	// primal-dual certificate typically show ≤ 1.5ε.
+	GapTolerance float64
+}
+
+// Check is one verified invariant.
+type Check struct {
+	Name    string
+	Pass    bool
+	Skipped bool // true when the needed inputs were absent (no Paths)
+	Detail  string
+}
+
+// Report is the structured result of a verification.
+type Report struct {
+	Checks     []Check
+	Throughput float64
+	// DualBound is the independently recomputed upper bound on the optimum
+	// λ*, and Gap is 1 − Throughput/DualBound (0 when no flows).
+	DualBound float64
+	Gap       float64
+	// PathCount is the number of decomposition paths examined.
+	PathCount int
+}
+
+// OK reports whether every non-skipped check passed.
+func (r *Report) OK() bool {
+	for _, c := range r.Checks {
+		if !c.Skipped && !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Err returns nil when OK, else an error naming the failed checks.
+func (r *Report) Err() error {
+	var failed []string
+	for _, c := range r.Checks {
+		if !c.Skipped && !c.Pass {
+			failed = append(failed, c.Name)
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	return fmt.Errorf("flowcheck: failed checks: %s", strings.Join(failed, ", "))
+}
+
+// String renders the report for humans (the flowsolve -verify output).
+func (r *Report) String() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "flowcheck: %s (λ=%.6g, dual bound %.6g, gap %.2f%%, %d paths)\n",
+		verdict, r.Throughput, r.DualBound, 100*r.Gap, r.PathCount)
+	for _, c := range r.Checks {
+		state := "ok"
+		switch {
+		case c.Skipped:
+			state = "skipped"
+		case !c.Pass:
+			state = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %-13s %-7s %s\n", c.Name+":", state, c.Detail)
+	}
+	return b.String()
+}
+
+// Verify certifies res as a solution of the maximum concurrent flow
+// instance (g, flows). It returns an error only for structurally unusable
+// input (shape mismatches); violations of the flow invariants are reported
+// as failed checks.
+func Verify(g *graph.Graph, flows []traffic.Flow, res *mcf.Result, opt Options) (*Report, error) {
+	if res == nil {
+		return nil, fmt.Errorf("flowcheck: nil result")
+	}
+	m := g.NumArcs()
+	if len(res.ArcFlow) != m && len(res.ArcFlow) != 0 {
+		return nil, fmt.Errorf("flowcheck: ArcFlow has %d arcs, graph has %d", len(res.ArcFlow), m)
+	}
+	if len(res.DualLens) != 0 && len(res.DualLens) != m {
+		return nil, fmt.Errorf("flowcheck: DualLens has %d arcs, graph has %d", len(res.DualLens), m)
+	}
+	tol := opt.Tolerance
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	gapTol := opt.GapTolerance
+	if gapTol <= 0 {
+		gapTol = 3 * res.Epsilon
+	}
+	if gapTol <= 0 {
+		gapTol = 3 * mcf.DefaultEpsilon
+	}
+
+	r := &Report{Throughput: res.Throughput, PathCount: len(res.Paths)}
+	if len(flows) == 0 {
+		r.Checks = append(r.Checks, Check{Name: "instance", Pass: true,
+			Detail: "no commodities; infinite throughput is trivially optimal"})
+		return r, nil
+	}
+
+	vol := pathChecks(g, flows, res, tol, r)
+	conservationCheck(g, flows, res, vol, tol, r)
+	capacityCheck(g, res, tol, r)
+	demandCheck(flows, res, vol, tol, r)
+	optimalityCheck(g, flows, res, gapTol, r)
+	return r, nil
+}
+
+// pathChecks validates the structural flow decomposition and returns the
+// per-commodity delivered volume (nil when no decomposition was recorded).
+func pathChecks(g *graph.Graph, flows []traffic.Flow, res *mcf.Result, tol float64, r *Report) []float64 {
+	if len(res.Paths) == 0 {
+		r.Checks = append(r.Checks, Check{Name: "decomposition", Skipped: true,
+			Detail: "no path decomposition (solve without RecordPaths)"})
+		return nil
+	}
+	vol := make([]float64, len(flows))
+	fromPaths := make([]float64, g.NumArcs())
+	for i, p := range res.Paths {
+		if p.Commodity < 0 || p.Commodity >= len(flows) {
+			r.Checks = append(r.Checks, Check{Name: "decomposition",
+				Detail: fmt.Sprintf("path %d references commodity %d of %d", i, p.Commodity, len(flows))})
+			return nil
+		}
+		if p.Flow <= 0 || math.IsNaN(p.Flow) {
+			r.Checks = append(r.Checks, Check{Name: "decomposition",
+				Detail: fmt.Sprintf("path %d has non-positive flow %v", i, p.Flow)})
+			return nil
+		}
+		f := flows[p.Commodity]
+		at := f.Src
+		for _, a := range p.Arcs {
+			if a < 0 || int(a) >= g.NumArcs() || int(g.Arc(int(a)).From) != at {
+				r.Checks = append(r.Checks, Check{Name: "decomposition",
+					Detail: fmt.Sprintf("path %d (commodity %d) is not contiguous at node %d", i, p.Commodity, at)})
+				return nil
+			}
+			fromPaths[a] += p.Flow
+			at = int(g.Arc(int(a)).To)
+		}
+		if at != f.Dst {
+			r.Checks = append(r.Checks, Check{Name: "decomposition",
+				Detail: fmt.Sprintf("path %d ends at %d, commodity %d ends at %d", i, at, p.Commodity, f.Dst)})
+			return nil
+		}
+		vol[p.Commodity] += p.Flow
+	}
+	// The decomposition must reconstruct the reported per-arc flow. A
+	// result with paths but no ArcFlow is compared against zero flow (and
+	// so fails unless the paths are empty too), rather than panicking.
+	arcFlow := res.ArcFlow
+	if len(arcFlow) == 0 {
+		arcFlow = make([]float64, g.NumArcs())
+	}
+	worst, worstArc := 0.0, -1
+	for a := range fromPaths {
+		d := math.Abs(fromPaths[a] - arcFlow[a])
+		if rel := d / math.Max(1, math.Abs(arcFlow[a])); rel > worst {
+			worst, worstArc = rel, a
+		}
+	}
+	if worst > tol {
+		r.Checks = append(r.Checks, Check{Name: "decomposition",
+			Detail: fmt.Sprintf("path sums diverge from ArcFlow by %.3g (rel) at arc %d", worst, worstArc)})
+		return nil
+	}
+	r.Checks = append(r.Checks, Check{Name: "decomposition", Pass: true,
+		Detail: fmt.Sprintf("%d paths, max ArcFlow mismatch %.2g (rel)", len(res.Paths), worst)})
+	return vol
+}
+
+// conservationCheck verifies per-node balance of ArcFlow: net outflow at a
+// node equals (volume sourced here) − (volume sunk here).
+func conservationCheck(g *graph.Graph, flows []traffic.Flow, res *mcf.Result, vol []float64, tol float64, r *Report) {
+	if vol == nil {
+		r.Checks = append(r.Checks, Check{Name: "conservation", Skipped: true,
+			Detail: "needs the path decomposition for per-node commodity volumes"})
+		return
+	}
+	net := make([]float64, g.N())
+	var scale float64 = 1
+	for a := 0; a < g.NumArcs() && a < len(res.ArcFlow); a++ {
+		arc := g.Arc(a)
+		net[arc.From] += res.ArcFlow[a]
+		net[arc.To] -= res.ArcFlow[a]
+		if res.ArcFlow[a] > scale {
+			scale = res.ArcFlow[a]
+		}
+	}
+	for j, f := range flows {
+		net[f.Src] -= vol[j]
+		net[f.Dst] += vol[j]
+	}
+	worst, worstNode := 0.0, -1
+	for v, b := range net {
+		if d := math.Abs(b); d > worst {
+			worst, worstNode = d, v
+		}
+	}
+	if worst > tol*scale*float64(g.N()) {
+		r.Checks = append(r.Checks, Check{Name: "conservation",
+			Detail: fmt.Sprintf("node %d imbalanced by %.3g", worstNode, worst)})
+		return
+	}
+	r.Checks = append(r.Checks, Check{Name: "conservation", Pass: true,
+		Detail: fmt.Sprintf("max node imbalance %.2g", worst)})
+}
+
+// capacityCheck verifies no arc exceeds its capacity.
+func capacityCheck(g *graph.Graph, res *mcf.Result, tol float64, r *Report) {
+	if len(res.ArcFlow) == 0 {
+		r.Checks = append(r.Checks, Check{Name: "capacity", Pass: true, Detail: "zero flow"})
+		return
+	}
+	worst, worstArc := 0.0, -1
+	for a := 0; a < g.NumArcs(); a++ {
+		if u := res.ArcFlow[a] / g.Arc(a).Cap; u > worst {
+			worst, worstArc = u, a
+		}
+	}
+	if worst > 1+tol {
+		r.Checks = append(r.Checks, Check{Name: "capacity",
+			Detail: fmt.Sprintf("arc %d overloaded: utilization %.9f", worstArc, worst)})
+		return
+	}
+	r.Checks = append(r.Checks, Check{Name: "capacity", Pass: true,
+		Detail: fmt.Sprintf("max utilization %.6f", worst)})
+}
+
+// demandCheck verifies concurrent-flow proportionality: every commodity
+// receives at least Throughput·demand.
+func demandCheck(flows []traffic.Flow, res *mcf.Result, vol []float64, tol float64, r *Report) {
+	if vol == nil {
+		r.Checks = append(r.Checks, Check{Name: "demand", Skipped: true,
+			Detail: "needs the path decomposition for per-commodity volumes"})
+		return
+	}
+	minFrac, minJ := math.Inf(1), -1
+	for j, f := range flows {
+		if fr := vol[j] / f.Demand; fr < minFrac {
+			minFrac, minJ = fr, j
+		}
+	}
+	if minFrac < res.Throughput*(1-tol) {
+		r.Checks = append(r.Checks, Check{Name: "demand",
+			Detail: fmt.Sprintf("commodity %d delivered %.6g of demand, below λ=%.6g", minJ, minFrac, res.Throughput)})
+		return
+	}
+	r.Checks = append(r.Checks, Check{Name: "demand", Pass: true,
+		Detail: fmt.Sprintf("min delivered fraction %.6g ≥ λ=%.6g", minFrac, res.Throughput)})
+}
+
+// optimalityCheck recomputes the dual bound λ* ≤ Σ l·cap / Σ d·dist_l from
+// the length witness with an independent Dijkstra and verifies the ε-gap.
+func optimalityCheck(g *graph.Graph, flows []traffic.Flow, res *mcf.Result, gapTol float64, r *Report) {
+	if len(res.DualLens) == 0 {
+		r.Checks = append(r.Checks, Check{Name: "optimality", Skipped: true,
+			Detail: "no dual length witness"})
+		return
+	}
+	var lenCap float64
+	for a := 0; a < g.NumArcs(); a++ {
+		l := res.DualLens[a]
+		if l < 0 || math.IsNaN(l) {
+			r.Checks = append(r.Checks, Check{Name: "optimality",
+				Detail: fmt.Sprintf("invalid witness length %v on arc %d", l, a)})
+			return
+		}
+		lenCap += l * g.Arc(a).Cap
+	}
+	bySrc := map[int][]int{}
+	for j, f := range flows {
+		bySrc[f.Src] = append(bySrc[f.Src], j)
+	}
+	var alpha float64
+	for src, js := range bySrc {
+		dist, _ := g.Dijkstra(src, res.DualLens)
+		for _, j := range js {
+			d := dist[flows[j].Dst]
+			if math.IsInf(d, 1) {
+				r.Checks = append(r.Checks, Check{Name: "optimality",
+					Detail: fmt.Sprintf("commodity %d unreachable under witness lengths", j)})
+				return
+			}
+			alpha += flows[j].Demand * d
+		}
+	}
+	if alpha <= 0 {
+		r.Checks = append(r.Checks, Check{Name: "optimality",
+			Detail: "degenerate dual normalizer (α ≤ 0)"})
+		return
+	}
+	r.DualBound = lenCap / alpha
+	r.Gap = 1 - res.Throughput/r.DualBound
+	if r.Gap > gapTol {
+		r.Checks = append(r.Checks, Check{Name: "optimality",
+			Detail: fmt.Sprintf("gap %.2f%% exceeds tolerance %.2f%% (λ=%.6g, bound %.6g)",
+				100*r.Gap, 100*gapTol, res.Throughput, r.DualBound)})
+		return
+	}
+	r.Checks = append(r.Checks, Check{Name: "optimality", Pass: true,
+		Detail: fmt.Sprintf("gap %.2f%% ≤ %.2f%% (dual bound %.6g)", 100*r.Gap, 100*gapTol, r.DualBound)})
+}

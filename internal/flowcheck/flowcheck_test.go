@@ -1,0 +1,188 @@
+package flowcheck
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/rrg"
+	"repro/internal/traffic"
+)
+
+func solved(t *testing.T) (*graph.Graph, []traffic.Flow, *mcf.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	g, err := rrg.Regular(rng, 24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		g.SetServers(u, 2)
+	}
+	tm := traffic.Permutation(rng, traffic.HostsOf(g))
+	res, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: 0.08, RecordPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, tm.Flows, res
+}
+
+func TestVerifyPassesOnHonestSolve(t *testing.T) {
+	g, flows, res := solved(t)
+	rep, err := Verify(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("honest solve rejected:\n%s", rep)
+	}
+	if rep.PathCount == 0 {
+		t.Fatal("no paths examined despite RecordPaths")
+	}
+	for _, c := range rep.Checks {
+		if c.Skipped {
+			t.Fatalf("check %s skipped despite full inputs", c.Name)
+		}
+	}
+}
+
+// A verifier that cannot detect violations certifies nothing: tamper with
+// each invariant and demand the matching check fails.
+func TestVerifyDetectsOverload(t *testing.T) {
+	g, flows, res := solved(t)
+	a := 0
+	res.ArcFlow[a] = g.Arc(a).Cap * 1.5
+	rep, err := Verify(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("overloaded arc not detected")
+	}
+	if !strings.Contains(rep.Err().Error(), "capacity") {
+		t.Fatalf("wrong check failed: %v", rep.Err())
+	}
+}
+
+func TestVerifyDetectsInflatedThroughput(t *testing.T) {
+	g, flows, res := solved(t)
+	res.Throughput *= 1.2 // claims more than the delivered volumes
+	rep, err := Verify(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("inflated throughput not detected")
+	}
+	if !strings.Contains(rep.Err().Error(), "demand") {
+		t.Fatalf("wrong check failed: %v", rep.Err())
+	}
+}
+
+func TestVerifyDetectsBrokenConservation(t *testing.T) {
+	g, flows, res := solved(t)
+	// Teleport flow: bump one arc's flow without a matching path. Both the
+	// decomposition sum and node balance break; either check may fire first.
+	res.ArcFlow[4] += 0.5
+	rep, err := Verify(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("teleported flow not detected")
+	}
+}
+
+func TestVerifyDetectsBrokenPath(t *testing.T) {
+	g, flows, res := solved(t)
+	res.Paths[0].Arcs = res.Paths[0].Arcs[:len(res.Paths[0].Arcs)-1] // no longer reaches dst
+	rep, err := Verify(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("truncated path not detected")
+	}
+	if !strings.Contains(rep.Err().Error(), "decomposition") {
+		t.Fatalf("wrong check failed: %v", rep.Err())
+	}
+}
+
+func TestVerifyDetectsOptimalityGap(t *testing.T) {
+	g, flows, res := solved(t)
+	// Claim far less than the dual bound allows: scale the whole flow down.
+	for a := range res.ArcFlow {
+		res.ArcFlow[a] *= 0.5
+	}
+	for i := range res.Paths {
+		res.Paths[i].Flow *= 0.5
+	}
+	res.Throughput *= 0.5
+	rep, err := Verify(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("large optimality gap not detected")
+	}
+	if !strings.Contains(rep.Err().Error(), "optimality") {
+		t.Fatalf("wrong check failed: %v", rep.Err())
+	}
+}
+
+func TestVerifyWithoutPathsSkips(t *testing.T) {
+	g, flows, res := solved(t)
+	res.Paths = nil
+	rep, err := Verify(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("pathless verify failed:\n%s", rep)
+	}
+	skipped := 0
+	for _, c := range rep.Checks {
+		if c.Skipped {
+			skipped++
+		}
+	}
+	if skipped != 3 { // decomposition, conservation, demand
+		t.Fatalf("want 3 skipped checks, got %d:\n%s", skipped, rep)
+	}
+}
+
+func TestVerifyEmptyInstance(t *testing.T) {
+	g := graph.New(2)
+	g.AddLink(0, 1, 1)
+	res, err := mcf.Solve(g, nil, mcf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(g, nil, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("empty instance rejected:\n%s", rep)
+	}
+}
+
+// TestVerifyPathsWithoutArcFlow: a malformed result carrying paths but no
+// ArcFlow must fail the decomposition check, not panic.
+func TestVerifyPathsWithoutArcFlow(t *testing.T) {
+	g, flows, res := solved(t)
+	res.ArcFlow = nil
+	res.ArcUtil = nil
+	rep, err := Verify(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("paths without ArcFlow accepted")
+	}
+	if !strings.Contains(rep.Err().Error(), "decomposition") {
+		t.Fatalf("wrong check failed: %v", rep.Err())
+	}
+}

@@ -19,6 +19,17 @@ type DijkstraScratch struct {
 	tmark []uint32 // pending-target marker, same epoch discipline
 	epoch uint32
 	heap  []item
+
+	// complete records whether the last Run settled every reachable node
+	// (no early exit), which is the precondition for Repair.
+	complete bool
+	// Repair working buffers, allocated on first use and reused after.
+	affected  []bool
+	childHead []int32
+	childNext []int32
+	stack     []int32 // nodes marked affected by the current repair
+	dfs       []int32 // subtree-marking DFS stack
+	chg       []bool  // per-arc changed marks for the list-flavored Repair
 }
 
 // NewDijkstraScratch returns a scratch sized for g.
@@ -61,6 +72,7 @@ func (d *DijkstraScratch) Run(src int, length []float64, targets []int32) {
 	d.stamp[src] = e
 	h := heapF{a: d.heap[:0]}
 	h.push(item{node: int32(src), d: 0})
+	broke := false
 	for h.len() > 0 {
 		it := h.pop()
 		if it.d > d.dist[it.node] {
@@ -70,6 +82,7 @@ func (d *DijkstraScratch) Run(src int, length []float64, targets []int32) {
 			d.tmark[it.node] = 0
 			pending--
 			if pending == 0 {
+				broke = true
 				break
 			}
 		}
@@ -85,7 +98,183 @@ func (d *DijkstraScratch) Run(src int, length []float64, targets []int32) {
 			}
 		}
 	}
+	// The break fires before the last target's out-arcs are relaxed, so an
+	// empty heap after it does not imply a complete tree.
+	d.complete = !broke
 	d.heap = h.a
+}
+
+// Repair updates the last Run's shortest-path tree after a batch of arc
+// length increases, re-relaxing only the subtrees hanging below changed
+// tree arcs instead of rebuilding the whole tree. changed lists the arcs
+// whose length grew since the tree was last computed (duplicates are fine;
+// unchanged arcs in the list are harmless). See RepairStale for the full
+// contract; Repair is the list-flavored convenience used by tests and
+// fuzzing.
+func (d *DijkstraScratch) Repair(length []float64, changed []int32) bool {
+	if len(changed) == 0 {
+		return d.complete
+	}
+	if d.chg == nil {
+		d.chg = make([]bool, len(d.g.arcs))
+	}
+	for _, a := range changed {
+		d.chg[a] = true
+	}
+	ok := d.RepairStale(length, func(a int32) bool { return d.chg[a] }, 0)
+	for _, a := range changed {
+		d.chg[a] = false
+	}
+	return ok
+}
+
+// RepairStale updates the last Run's shortest-path tree after arc length
+// increases, implementing the increase-only case of Ramalingam–Reps
+// dynamic SSSP:
+//
+//   - grew reports whether an arc's length has grown since the tree was
+//     last computed. It is consulted only for current tree arcs: a changed
+//     arc outside the tree cannot invalidate anything — every distance is
+//     still achieved by its unchanged tree path, and no path got shorter.
+//     Lengths must not have decreased — a shrunken arc can make the
+//     repaired tree suboptimal without detection.
+//   - Only the subtrees hanging below grown tree arcs are re-relaxed, via
+//     a restricted Dijkstra seeded from the unaffected boundary. Nodes
+//     outside those subtrees keep their exact distances, so the repaired
+//     dist/via agree with a from-scratch Dijkstra bit-for-bit whenever the
+//     shortest-path tree is unique (the oracle tests and
+//     FuzzRepairMatchesRebuild enforce this).
+//   - maxAffected > 0 bounds the stale region the repair is willing to
+//     process: if more nodes are affected, RepairStale undoes nothing,
+//     returns false, and the caller should rebuild — for large stale
+//     regions a fresh Run is cheaper than boundary-seeded re-relaxation.
+//
+// RepairStale also returns false — leaving the tree untouched — when the
+// last Run exited early on targets (the settled region is then unknown, so
+// only a full Run can refresh it). After a successful repair the tree is
+// again complete and current for the given lengths.
+func (d *DijkstraScratch) RepairStale(length []float64, grew func(a int32) bool, maxAffected int) bool {
+	if !d.complete {
+		return false
+	}
+	e := d.epoch
+	arcs := d.g.arcs
+	if d.affected == nil {
+		d.affected = make([]bool, d.g.n)
+		d.childHead = make([]int32, d.g.n)
+		d.childNext = make([]int32, d.g.n)
+	}
+	// Collect the roots of stale subtrees: heads of grown tree arcs. One
+	// O(n) pass over the tree; most solver repairs find only a few.
+	dfs := d.dfs[:0]
+	for v := 0; v < d.g.n; v++ {
+		if d.stamp[v] == e && d.via[v] >= 0 && grew(d.via[v]) {
+			dfs = append(dfs, int32(v))
+		}
+	}
+	if len(dfs) == 0 {
+		d.dfs = dfs
+		return true
+	}
+	// Bucket tree children (first-child/next-sibling) so subtree marking is
+	// a straight DFS. O(n), paid only on repairs that found a stale subtree.
+	for v := range d.childHead {
+		d.childHead[v] = -1
+	}
+	for v := 0; v < d.g.n; v++ {
+		if d.stamp[v] != e || d.via[v] < 0 {
+			continue
+		}
+		p := arcs[d.via[v]].From
+		d.childNext[v] = d.childHead[p]
+		d.childHead[p] = int32(v)
+	}
+	// Mark every node whose tree path crosses a grown tree arc, bailing out
+	// once the region exceeds the caller's repair budget.
+	touched := d.stack[:0]
+	bailed := false
+	for len(dfs) > 0 {
+		u := dfs[len(dfs)-1]
+		dfs = dfs[:len(dfs)-1]
+		if d.affected[u] {
+			continue
+		}
+		if maxAffected > 0 && len(touched) >= maxAffected {
+			bailed = true
+			break
+		}
+		d.affected[u] = true
+		touched = append(touched, u)
+		for c := d.childHead[u]; c >= 0; c = d.childNext[c] {
+			dfs = append(dfs, c)
+		}
+	}
+	d.dfs = dfs[:0]
+	if bailed {
+		for _, v := range touched {
+			d.affected[v] = false
+		}
+		d.stack = touched[:0]
+		return false
+	}
+	// Restricted Dijkstra over the affected set, seeded from the unaffected
+	// boundary: each affected node's best entry via a settled neighbor.
+	c := d.g.csrView()
+	h := heapF{a: d.heap[:0]}
+	for _, v := range touched {
+		d.dist[v] = math.Inf(1)
+	}
+	for _, v := range touched {
+		best := math.Inf(1)
+		bestArc := int32(-1)
+		for k, end := c.start[v], c.start[v+1]; k < end; k++ {
+			u := c.to[k]
+			if d.affected[u] || d.stamp[u] != e {
+				continue
+			}
+			in := c.arc[k] ^ 1 // the reverse arc u -> v
+			if nd := d.dist[u] + length[in]; nd < best {
+				best, bestArc = nd, in
+			}
+		}
+		if bestArc >= 0 {
+			d.dist[v] = best
+			d.via[v] = bestArc
+			h.push(item{node: v, d: best})
+		}
+	}
+	for h.len() > 0 {
+		it := h.pop()
+		if it.d > d.dist[it.node] || !d.affected[it.node] {
+			continue
+		}
+		d.affected[it.node] = false // settled
+		for k, end := c.start[it.node], c.start[it.node+1]; k < end; k++ {
+			v := c.to[k]
+			if !d.affected[v] {
+				continue
+			}
+			a := c.arc[k]
+			nd := it.d + length[a]
+			if nd < d.dist[v] {
+				d.dist[v] = nd
+				d.via[v] = a
+				h.push(item{node: v, d: nd})
+			}
+		}
+	}
+	// Anything still marked was cut off entirely by the length growth (only
+	// possible with +Inf lengths); drop it from the tree.
+	for _, v := range touched {
+		if d.affected[v] {
+			d.affected[v] = false
+			d.stamp[v] = e - 1
+			d.via[v] = -1
+		}
+	}
+	d.stack = touched[:0]
+	d.heap = h.a
+	return true
 }
 
 // Dist returns the distance of v from the last Run's source, or +Inf if v

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// FuzzGraphRoundTrip: any JSON the parser accepts must re-export to a form
+// that parses again and re-exports identically (export → parse → re-export
+// is a fixed point after one round).
+func FuzzGraphRoundTrip(f *testing.F) {
+	// Seed with real exports.
+	seedGraphs := []*Graph{New(0), New(1)}
+	g := New(4)
+	g.AddLink(0, 1, 1)
+	g.AddLink(1, 2, 2.5)
+	g.AddLink(2, 3, 0.125)
+	g.AddLink(0, 3, 7)
+	g.SetServers(1, 3)
+	g.SetClass(2, 1)
+	seedGraphs = append(seedGraphs, g)
+	rng := rand.New(rand.NewSource(8))
+	h := New(12)
+	for i := 1; i < 12; i++ {
+		h.AddLink(rng.Intn(i), i, 1+rng.Float64())
+	}
+	seedGraphs = append(seedGraphs, h)
+	for _, sg := range seedGraphs {
+		data, err := json.Marshal(sg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"n":2,"links":[{"u":0,"v":1,"cap":1}]}`))
+	f.Add([]byte(`{"n":3,"servers":[1,2,3],"class":[0,1,2],"links":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g1 Graph
+		if err := json.Unmarshal(data, &g1); err != nil {
+			return // invalid input is fine; it just must not crash
+		}
+		if err := g1.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid graph: %v", err)
+		}
+		out1, err := json.Marshal(&g1)
+		if err != nil {
+			t.Fatalf("re-export failed: %v", err)
+		}
+		var g2 Graph
+		if err := json.Unmarshal(out1, &g2); err != nil {
+			t.Fatalf("re-parse of own export failed: %v\nexport: %s", err, out1)
+		}
+		out2, err := json.Marshal(&g2)
+		if err != nil {
+			t.Fatalf("second export failed: %v", err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("export not a fixed point:\nfirst:  %s\nsecond: %s", out1, out2)
+		}
+	})
+}
+
+// FuzzRepairMatchesRebuild: arbitrary increase-only length evolutions on a
+// derived random graph must keep Repair bit-identical to a from-scratch
+// Dijkstra. The fuzzer drives which arcs grow, by how much, and how the
+// growth is batched; seeds mirror the oracle-test corpus.
+func FuzzRepairMatchesRebuild(f *testing.F) {
+	f.Add(int64(42), []byte{1, 2, 3, 200, 17, 5})
+	f.Add(int64(99), []byte{0, 0, 0, 0})
+	f.Add(int64(7), []byte{255, 128, 64, 32, 16, 8, 4, 2, 1, 9})
+	f.Add(int64(53), []byte{10, 250, 3, 77, 77, 77, 200, 1})
+
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		if len(ops) == 0 || len(ops) > 512 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(40)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.AddLink(rng.Intn(i), i, 1)
+		}
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddLink(u, v, 1)
+			}
+		}
+		m := g.NumArcs()
+		lens := make([]float64, m)
+		for a := range lens {
+			lens[a] = 0.1 + rng.Float64()
+		}
+		src := rng.Intn(n)
+		d := g.NewDijkstraScratch()
+		d.Run(src, lens, nil)
+		// Each op byte grows one arc; every 4th op closes a batch and
+		// checks the repaired tree against a rebuild.
+		var changed []int32
+		flush := func() {
+			if len(changed) == 0 {
+				return
+			}
+			if !d.Repair(lens, changed) {
+				t.Fatal("repair refused a complete tree")
+			}
+			dist, via := g.Dijkstra(src, lens)
+			for v := 0; v < n; v++ {
+				if d.Dist(v) != dist[v] {
+					t.Fatalf("dist[%d]: repair %v, rebuild %v", v, d.Dist(v), dist[v])
+				}
+				if d.Via(v) != via[v] {
+					t.Fatalf("via[%d]: repair %d, rebuild %d", v, d.Via(v), via[v])
+				}
+			}
+			changed = changed[:0]
+		}
+		for i, op := range ops {
+			a := int32(int(op) % m)
+			lens[a] *= 1 + float64(op%7)/10 + 0.01
+			changed = append(changed, a)
+			if i%4 == 3 {
+				flush()
+			}
+		}
+		flush()
+	})
+}

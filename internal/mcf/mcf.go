@@ -30,6 +30,18 @@ type Options struct {
 	// MaxPhases caps the number of Garg–Könemann phases as a safety valve.
 	// 0 means no explicit cap (the length-function stopping rule applies).
 	MaxPhases int
+	// RecordPaths keeps the per-piece path decomposition of the routed flow
+	// in Result.Paths (congestion-scaled, like ArcFlow), so an external
+	// verifier such as internal/flowcheck can replay conservation, capacity,
+	// and demand proportionality from first principles. Off by default: the
+	// decomposition can hold one entry per routed piece.
+	RecordPaths bool
+	// DisableRepair forces stale shortest-path trees to be rebuilt from
+	// scratch instead of incrementally repaired. The solver trajectory is
+	// unaffected either way (a repaired tree equals a rebuilt tree whenever
+	// shortest paths are unique); the knob exists for the repair-vs-rebuild
+	// benchmarks and oracle tests.
+	DisableRepair bool
 }
 
 // DefaultEpsilon is used when Options.Epsilon is zero.
@@ -60,6 +72,35 @@ type Result struct {
 	Stretch float64
 	// Phases is the number of completed Garg–Könemann phases.
 	Phases int
+	// TreeBuilds and TreeRepairs count full Dijkstra tree constructions and
+	// incremental repairs, respectively — the repair hit rate.
+	TreeBuilds  int
+	TreeRepairs int
+	// Epsilon is the effective approximation parameter of the solve.
+	Epsilon float64
+	// DualLens is the Garg–Könemann length function of the phase whose
+	// dual bound was smallest, exported as a witness: for any non-negative
+	// arc lengths l, the optimum λ* satisfies
+	// λ* ≤ Σ_a l_a·cap_a / Σ_j demand_j·dist_l(s_j,t_j), so a verifier can
+	// certify the ε-optimality gap with one independent Dijkstra per
+	// source (see internal/flowcheck). The best phase is exported rather
+	// than the last because solves that end on the potential rule keep
+	// inflating lengths after the dual bound has bottomed out, making the
+	// final lengths a much looser witness.
+	DualLens []float64
+	// Paths is the congestion-scaled path decomposition of ArcFlow, present
+	// only when Options.RecordPaths was set. Summing Flow over the paths of
+	// commodity j gives j's delivered volume (≥ Throughput·demand_j);
+	// summing over paths crossing an arc reconstructs ArcFlow.
+	Paths []PathFlow
+}
+
+// PathFlow is one path of the flow decomposition: Flow units of commodity
+// Commodity routed along the directed arcs Arcs (source to destination).
+type PathFlow struct {
+	Commodity int
+	Arcs      []int32
+	Flow      float64
 }
 
 // Solve computes the maximum concurrent flow for the commodities in flows
@@ -81,7 +122,7 @@ func Solve(g *graph.Graph, flows []traffic.Flow, opt Options) (*Result, error) {
 		}
 	}
 
-	s := newState(g, flows, eps)
+	s := newState(g, flows, eps, opt)
 	if err := s.checkReachability(); err != nil {
 		return nil, err
 	}
@@ -101,8 +142,19 @@ func Solve(g *graph.Graph, flows []traffic.Flow, opt Options) (*Result, error) {
 	// solver's effective quality class, only its phase count.
 	for s.lenCapSum < 1 && s.phases < maxPhases {
 		s.runPhase()
-		if s.alpha > 0 && s.primal() >= (1-1.5*eps)*s.lenCapSum/s.alpha {
-			break
+		if s.alpha > 0 {
+			// Track the best dual bound seen and snapshot its length
+			// function as the optimality witness for the verifier.
+			if bound := s.lenCapSum / s.alpha; bound < s.bestBound {
+				s.bestBound = bound
+				if s.bestLens == nil {
+					s.bestLens = make([]float64, s.m)
+				}
+				copy(s.bestLens, s.lens)
+			}
+			if s.primal() >= (1-1.5*eps)*s.lenCapSum/s.alpha {
+				break
+			}
 		}
 	}
 	return s.result(), nil
@@ -144,6 +196,33 @@ type state struct {
 	shared    *srcTree
 	pathBuf   []int32
 	targetBuf []int32
+
+	// grownAt[a] is the value of growSeq when arc a's length last grew;
+	// growSeq advances once per routed piece. A persistent tree remembers
+	// the seq it was last current at, so "which of my tree arcs went stale"
+	// is answered in O(1) per tree arc and the tree is incrementally
+	// repaired instead of rebuilt. Unused (noRepair) when
+	// Options.DisableRepair is set or the shared-tree fallback is active.
+	grownAt  []int64
+	growSeq  int64
+	noRepair bool
+
+	// bestBound/bestLens track the smallest per-phase dual bound and its
+	// length snapshot — the ε-optimality witness exported on Result.
+	bestBound float64
+	bestLens  []float64
+
+	// builds/repairs count full tree constructions vs incremental repairs;
+	// repairTries counts attempts. When attempts keep exceeding the repair
+	// budget (stale regions are global, as in dense high-demand instances),
+	// repair is switched off for the rest of the solve and tree builds
+	// return to early-exiting Dijkstras.
+	builds, repairs, repairTries int
+
+	// rec accumulates the path decomposition when Options.RecordPaths is on.
+	rec []PathFlow
+	// recordPaths mirrors Options.RecordPaths.
+	recordPaths bool
 }
 
 // srcTree is a shortest-path tree rooted at one source, with the length
@@ -151,25 +230,43 @@ type state struct {
 type srcTree struct {
 	scratch    *graph.DijkstraScratch
 	lenAtBuild []float64
-	built      bool
+	built bool
+	// seq is the state.growSeq value the tree is current for: arcs with
+	// grownAt > seq are length growths the tree has not absorbed yet.
+	seq int64
+	// full records whether the last build settled the whole graph (the
+	// precondition for incremental repair); cold sources early-exit instead.
+	full bool
+	// hot marks a source whose tree went stale more than once within a
+	// single phase: its demand outruns its bottlenecks, so staleness is
+	// self-inflicted and localized — the regime where incremental repair
+	// beats rebuilding. Hot sources get full (repairable) builds.
+	hot bool
+	// phaseOf/refreshes implement the heat detector: refresh count within
+	// the phase the tree was last refreshed in.
+	phaseOf   int
+	refreshes int
 }
 
 // persistentTreeBudget caps the memory (in bytes, approximately) spent on
 // per-source persistent trees before falling back to one shared tree.
 const persistentTreeBudget = 1 << 28
 
-func newState(g *graph.Graph, flows []traffic.Flow, eps float64) *state {
+func newState(g *graph.Graph, flows []traffic.Flow, eps float64, opt Options) *state {
 	m := g.NumArcs()
 	s := &state{
-		g:      g,
-		eps:    eps,
-		m:      m,
-		caps:   make([]float64, m),
-		lens:   make([]float64, m),
-		flow:   make([]float64, m),
-		bySrc:  make(map[int][]int),
-		flows:  flows,
-		routed: make([]float64, len(flows)),
+		g:           g,
+		eps:         eps,
+		m:           m,
+		caps:        make([]float64, m),
+		lens:        make([]float64, m),
+		flow:        make([]float64, m),
+		bySrc:       make(map[int][]int),
+		flows:       flows,
+		routed:      make([]float64, len(flows)),
+		noRepair:    opt.DisableRepair,
+		recordPaths: opt.RecordPaths,
+		bestBound:   math.Inf(1),
 	}
 	delta := (1 + eps) * math.Pow((1+eps)*float64(m), -1/eps)
 	for a := 0; a < m; a++ {
@@ -190,6 +287,12 @@ func newState(g *graph.Graph, flows []traffic.Flow, eps float64) *state {
 		s.perSrc = make(map[int]*srcTree, len(s.srcs))
 	} else {
 		s.shared = &srcTree{scratch: g.NewDijkstraScratch(), lenAtBuild: make([]float64, m)}
+		// The shared slot is reused by every source, so a tree never
+		// survives long enough for incremental repair to pay off.
+		s.noRepair = true
+	}
+	if !s.noRepair {
+		s.grownAt = make([]int64, m)
 	}
 	return s
 }
@@ -224,12 +327,81 @@ func (s *state) checkReachability() error {
 }
 
 // buildTree computes a fresh shortest-path tree for the source batch and
-// snapshots the length function so later routing can detect staleness. The
-// Dijkstra stops early once every destination of the batch is settled.
+// snapshots the length function so later routing can detect staleness.
+// Hot sources (see srcTree.hot) are built in full — incremental repair
+// needs every reachable node settled — while cold sources keep the early
+// exit once every destination of the batch is settled, exactly as before
+// repair existed.
 func (s *state) buildTree(t *srcTree, src int, targets []int32) {
-	t.scratch.Run(src, s.lens, targets)
+	t.full = !s.noRepair && t.hot
+	if t.full {
+		t.scratch.Run(src, s.lens, nil)
+	} else {
+		t.scratch.Run(src, s.lens, targets)
+	}
 	copy(t.lenAtBuild, s.lens)
+	t.seq = s.growSeq
 	t.built = true
+	s.builds++
+}
+
+// repairBudget bounds the stale region an incremental repair may process,
+// as a fraction of the node count (denominator): beyond roughly half the
+// tree, boundary-seeded re-relaxation costs about as much as a fresh
+// early-exiting Dijkstra, so the repair bails and the tree is rebuilt.
+const repairBudget = 2
+
+// Adaptive kill switch: once repairMinTries attempts have been made and
+// fewer than 1/repairWinRatio of them succeeded, the workload's stale
+// regions are global (a Garg–Könemann phase that reroutes every commodity
+// touches nearly every arc) and repair cannot beat an early-exiting
+// rebuild, so the solver stops attempting it.
+const (
+	repairMinTries = 64
+	repairWinRatio = 8
+)
+
+// refreshTree brings a stale tree up to date with the current length
+// function: an incremental repair over the arcs that grew since the tree's
+// seq, falling back to a rebuild when the source is cold (early-exited
+// tree), repair is disabled, or the repair went over budget (stale region
+// too large).
+func (s *state) refreshTree(t *srcTree, src int, targets []int32) {
+	if !t.built {
+		s.buildTree(t, src, targets)
+		return
+	}
+	// Heat detector: a second staleness within one phase means the source's
+	// own routing is outrunning its bottlenecks; from the next build on it
+	// gets a full, repairable tree.
+	if t.phaseOf == s.phases {
+		t.refreshes++
+		if t.refreshes >= 2 {
+			t.hot = true
+		}
+	} else {
+		t.phaseOf, t.refreshes = s.phases, 1
+	}
+	if s.noRepair || !t.full {
+		s.buildTree(t, src, targets)
+		return
+	}
+	seq := t.seq
+	s.repairTries++
+	ok := t.scratch.RepairStale(s.lens,
+		func(a int32) bool { return s.grownAt[a] > seq },
+		s.g.N()/repairBudget)
+	if ok {
+		copy(t.lenAtBuild, s.lens)
+		t.seq = s.growSeq
+		s.repairs++
+	}
+	if s.repairTries >= repairMinTries && s.repairs*repairWinRatio < s.repairTries {
+		s.noRepair = true
+	}
+	if !ok {
+		s.buildTree(t, src, targets)
+	}
 }
 
 // runPhase routes each commodity's full demand once under the current
@@ -277,7 +449,7 @@ func (s *state) runPhase() {
 					}
 				}
 				if path == nil {
-					s.buildTree(t, src, targets)
+					s.refreshTree(t, src, targets)
 					path = s.walkPath(t, dst)
 					if path == nil {
 						// Should be impossible after checkReachability.
@@ -295,12 +467,21 @@ func (s *state) runPhase() {
 					}
 				}
 				u := math.Min(remaining, bottleneck)
+				if !s.noRepair {
+					s.growSeq++
+					for _, a := range path {
+						s.grownAt[a] = s.growSeq
+					}
+				}
 				for _, a := range path {
 					s.flow[a] += u
 					old := s.lens[a]
 					nl := old * (1 + s.eps*u/s.caps[a])
 					s.lens[a] = nl
 					s.lenCapSum += (nl - old) * s.caps[a]
+				}
+				if s.recordPaths {
+					s.recordPiece(j, path, u)
 				}
 				s.routed[j] += u
 				s.volLen += u * float64(len(path))
@@ -310,6 +491,32 @@ func (s *state) runPhase() {
 		}
 	}
 	s.phases++
+}
+
+// recordPiece appends one routed piece to the decomposition, merging with
+// the previous entry when the same commodity reused the same path (the
+// common case when demand exceeds the bottleneck).
+func (s *state) recordPiece(j int, path []int32, u float64) {
+	if n := len(s.rec); n > 0 {
+		last := &s.rec[n-1]
+		if last.Commodity == j && int32SlicesEqual(last.Arcs, path) {
+			last.Flow += u
+			return
+		}
+	}
+	s.rec = append(s.rec, PathFlow{Commodity: j, Arcs: append([]int32(nil), path...), Flow: u})
+}
+
+func int32SlicesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // walkPath returns the arc sequence from t's root to dst, or nil if dst
@@ -359,10 +566,18 @@ func (s *state) primal() float64 {
 }
 
 func (s *state) result() *Result {
+	witness := s.bestLens
+	if witness == nil {
+		witness = s.lens
+	}
 	res := &Result{
-		ArcFlow: make([]float64, s.m),
-		ArcUtil: make([]float64, s.m),
-		Phases:  s.phases,
+		ArcFlow:     make([]float64, s.m),
+		ArcUtil:     make([]float64, s.m),
+		Phases:      s.phases,
+		TreeBuilds:  s.builds,
+		TreeRepairs: s.repairs,
+		Epsilon:     s.eps,
+		DualLens:    append([]float64(nil), witness...),
 	}
 	// Maximum congestion certifies feasibility after scaling.
 	var chi float64
@@ -381,6 +596,12 @@ func (s *state) result() *Result {
 		}
 	}
 	res.Throughput = minRatio / chi
+	if s.recordPaths {
+		res.Paths = s.rec
+		for i := range res.Paths {
+			res.Paths[i].Flow /= chi
+		}
+	}
 	var totalFlow, totalCap float64
 	for a := 0; a < s.m; a++ {
 		res.ArcFlow[a] = s.flow[a] / chi

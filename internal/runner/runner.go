@@ -8,6 +8,18 @@
 // deterministically from (base seed, point index), and reduce the returned
 // slice serially in index order — so parallel output is byte-identical to
 // a serial run of the same grid.
+//
+// Maps nest freely: figure grids call core.Evaluation, whose runs call
+// packet simulations and bisection trials, each mapping onto a pool of its
+// own. A process-wide weighted semaphore bounds the TOTAL in-flight work
+// across all nesting levels to SetMaxInFlight (default GOMAXPROCS): the
+// calling goroutine of every Map always works inline — it already owns a
+// concurrency slot, inherited from whatever spawned it — and extra worker
+// goroutines each need a token from the shared semaphore, acquired
+// non-blockingly. When the semaphore is saturated by outer levels, inner
+// Maps simply degrade toward serial execution instead of multiplying
+// goroutines (workers² and worse before this bound existed). Results are
+// unaffected: scheduling never changes task outputs or their order.
 package runner
 
 import (
@@ -15,6 +27,40 @@ import (
 	"sync"
 	"sync/atomic"
 )
+
+// inflight implements the shared weighted semaphore: extra (non-caller)
+// worker tokens outstanding, and the cap on them. The cap is the max
+// in-flight bound minus one, the caller's own slot.
+var (
+	inflightExtra atomic.Int64
+	inflightCap   atomic.Int64
+)
+
+func init() { inflightCap.Store(int64(runtime.GOMAXPROCS(0)) - 1) }
+
+// SetMaxInFlight bounds the total concurrently-running tasks across every
+// Map in the process, including nested ones, to n (n <= 0 restores the
+// GOMAXPROCS default). Top-level callers running tasks inline count
+// against the bound by construction; helper goroutines are limited to
+// n − 1.
+func SetMaxInFlight(n int) {
+	inflightCap.Store(int64(Workers(n)) - 1)
+}
+
+// tryAcquire takes one helper token if the semaphore has room.
+func tryAcquire() bool {
+	for {
+		cur := inflightExtra.Load()
+		if cur >= inflightCap.Load() {
+			return false
+		}
+		if inflightExtra.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func release() { inflightExtra.Add(-1) }
 
 // Workers normalizes a worker-count option: n <= 0 means GOMAXPROCS.
 func Workers(n int) int {
@@ -64,10 +110,6 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 		return out, nil
 	}
-	workers := p.workers
-	if workers > n {
-		workers = n
-	}
 	var (
 		next     atomic.Int64
 		mu       sync.Mutex
@@ -75,34 +117,46 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 		firstErr error
 		wg       sync.WaitGroup
 	)
-	for w := 0; w < workers; w++ {
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			mu.Lock()
+			skip := errIdx >= 0 && errIdx < i
+			mu.Unlock()
+			if skip {
+				continue
+			}
+			v, err := fn(i)
+			if err != nil {
+				mu.Lock()
+				if errIdx < 0 || i < errIdx {
+					errIdx, firstErr = i, err
+				}
+				mu.Unlock()
+				continue
+			}
+			out[i] = v
+		}
+	}
+	// The caller participates inline (it already holds a concurrency slot);
+	// extra workers spawn only while shared semaphore tokens are available,
+	// so nested Maps cannot multiply goroutines past the process bound.
+	extra := p.workers - 1
+	if extra > n-1 {
+		extra = n - 1
+	}
+	for w := 0; w < extra && tryAcquire(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				mu.Lock()
-				skip := errIdx >= 0 && errIdx < i
-				mu.Unlock()
-				if skip {
-					continue
-				}
-				v, err := fn(i)
-				if err != nil {
-					mu.Lock()
-					if errIdx < 0 || i < errIdx {
-						errIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					continue
-				}
-				out[i] = v
-			}
+			defer release()
+			work()
 		}()
 	}
+	work()
 	wg.Wait()
 	if errIdx >= 0 {
 		return nil, firstErr

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapOrderAndCompleteness(t *testing.T) {
@@ -108,5 +109,55 @@ func TestWorkers(t *testing.T) {
 	}
 	if Workers(5) != 5 {
 		t.Fatalf("Workers(5) = %d", Workers(5))
+	}
+}
+
+// TestNestedMapsBounded: with the shared semaphore capped at w, nested
+// Maps (grid × runs, like every figure runner) must never have more than w
+// tasks executing simultaneously — previously each level multiplied its
+// own worker count.
+func TestNestedMapsBounded(t *testing.T) {
+	const cap = 4
+	SetMaxInFlight(cap)
+	defer SetMaxInFlight(0)
+	var cur, peak atomic.Int64
+	err := Each(New(cap), 6, func(i int) error {
+		return Each(New(cap), 6, func(j int) error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > cap {
+		t.Fatalf("peak in-flight %d exceeds the %d bound", p, cap)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("no parallelism at all (peak %d); the semaphore is over-throttling", p)
+	}
+}
+
+// TestMapAfterSaturationStillCompletes: when no helper tokens are
+// available, Map must fall back to inline execution and still finish.
+func TestMapAfterSaturationStillCompletes(t *testing.T) {
+	SetMaxInFlight(1) // zero helper tokens: everything runs inline
+	defer SetMaxInFlight(0)
+	got, err := Map(New(8), 30, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
 	}
 }
