@@ -15,6 +15,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/routing"
 	"repro/internal/rrg"
+	"repro/internal/runner"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -114,6 +115,28 @@ func BenchmarkSolverScale(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := mcf.Solve(g, flows, mcf.Options{Epsilon: 0.1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: the phase-parallel tree prebuild's scaling with worker count
+// on the Fig. 2 benchmark instance. The solver's output is byte-identical
+// across worker counts (TestSolverDeterministicAcrossWorkers); only
+// wall-clock moves, by parallelizing the predicted-stale tree builds each
+// phase front-loads. The process-wide semaphore is widened to the worker
+// count so the measurement reflects the requested parallelism rather than
+// the machine's default cap.
+func BenchmarkSolverPhasePar(b *testing.B) {
+	g, flows := solverInstance(b, 80, 10, 5)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runner.SetMaxInFlight(w)
+			defer runner.SetMaxInFlight(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := mcf.Solve(g, flows, mcf.Options{Epsilon: 0.1, Workers: w}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -7,10 +7,10 @@
 //
 //	benchjson [-o dir] [-benchtime 1s] [-baseline BENCH_x.json] [-gate name=pct,...]
 //
-// The snapshot covers the flow solver (scale, epsilon, and repair-vs-
-// rebuild ablations), the bisection-bandwidth estimator, and two
-// representative figure runners in quick mode (one grid-heavy, one
-// decomposition-heavy).
+// The snapshot covers the flow solver (scale, epsilon, repair-vs-rebuild,
+// and phase-parallel worker-scaling ablations), the bisection-bandwidth
+// estimator, and two representative figure runners in quick mode (one
+// grid-heavy, one decomposition-heavy).
 //
 // With -baseline, the fresh snapshot is compared entry-by-entry against a
 // committed earlier snapshot; -gate turns selected comparisons into hard
@@ -35,6 +35,7 @@ import (
 	"repro/internal/maxflow"
 	"repro/internal/mcf"
 	"repro/internal/rrg"
+	"repro/internal/runner"
 	"repro/internal/traffic"
 )
 
@@ -103,6 +104,16 @@ func main() {
 		mode := mode
 		add("SolverRepair/"+mode, func(b *testing.B) {
 			benchRepair(b, 400, 6, mode == "repair")
+		})
+	}
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		add(fmt.Sprintf("SolverPhasePar/workers=%d", w), func(b *testing.B) {
+			// Widen the process semaphore so the requested worker count can
+			// actually fan out; results are byte-identical either way.
+			runner.SetMaxInFlight(w)
+			defer runner.SetMaxInFlight(0)
+			benchSolveWorkers(b, 80, 10, 5, 0.1, w)
 		})
 	}
 	add("BisectionBandwidth/n=200", func(b *testing.B) {
@@ -218,6 +229,10 @@ func compare(baselinePath string, snap *Snapshot, gates string) error {
 }
 
 func benchSolve(b *testing.B, n, r, sps int, eps float64) {
+	benchSolveWorkers(b, n, r, sps, eps, 0)
+}
+
+func benchSolveWorkers(b *testing.B, n, r, sps int, eps float64, workers int) {
 	rng := rand.New(rand.NewSource(1))
 	g, err := rrg.Regular(rng, n, r)
 	if err != nil {
@@ -230,7 +245,7 @@ func benchSolve(b *testing.B, n, r, sps int, eps float64) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: eps}); err != nil {
+		if _, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: eps, Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}

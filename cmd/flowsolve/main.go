@@ -103,6 +103,8 @@ func main() {
 	fmt.Printf("commodities:  %d (%d server flows, %d colocated)\n",
 		len(tm.Flows), tm.ServerFlows, tm.Colocated)
 	fmt.Printf("phases:       %d (%d tree builds, %d repairs)\n", res.Phases, res.TreeBuilds, res.TreeRepairs)
+	fmt.Printf("tree engine:  %d prebuilt concurrently at phase starts, %d bucket-queue builds\n",
+		res.TreePrebuilds, res.BucketBuilds)
 	if *verify {
 		rep, err := flowcheck.Verify(&g, tm.Flows, res, flowcheck.Options{})
 		if err != nil {

@@ -30,6 +30,28 @@
 // with incremental Kernighan–Lin swap gains (O(1) per candidate pair)
 // rather than recomputing the full cut capacity per pair.
 //
+// Phase-parallel tree builds. Tree construction is the parallel part of
+// the solver: at each phase start, mcf.Solve finds every source whose
+// tree the phase is about to refresh anyway (the same (1+ε) staleness
+// test the routing loop applies) and refreshes them all concurrently
+// against the frozen phase-start length function — one persistent scratch
+// per source, worker count bounded by Options.Workers and the process-wide
+// runner semaphore. Routing then proceeds serially against those trees, so
+// the solve's output is byte-identical regardless of worker count (the
+// golden figures stay byte-for-byte across machines); only wall-clock
+// changes. Each rebuild also picks its traversal adaptively: when the
+// phase's length spread max/min is small — the early/mid-solve regime,
+// where Garg–Könemann lengths are still near-uniform — a monotone
+// bucket-queue Dijkstra (graph.DijkstraScratch.RunBucketed, bucket width
+// from graph.LengthRange) replaces the heap's O(log n) sifts with O(1)
+// bucket appends; when the spread is wide, or bucket runs keep paying
+// window-overflow rebases (a deterministic kill switch mirroring the
+// repair one), builds revert to the heap. The dual normalizer α is
+// accumulated from the phase-end trees — still built under lengths ≤ the
+// end-of-phase lengths, hence still a valid dual bound, but fresher than
+// the per-piece accumulation it replaced, which tightens the primal-dual
+// certificate and cuts phase counts ~20% on the benchmark workloads.
+//
 // Dynamic tree repair. Stale shortest-path trees need not be rebuilt:
 // because Garg–Könemann lengths only grow, graph.DijkstraScratch.Repair
 // (increase-only Ramalingam–Reps) re-relaxes exactly the subtrees hanging
@@ -67,7 +89,10 @@
 // independent Dijkstra from the exported length witness (mcf.Result.
 // DualLens). Solve with mcf.Options.RecordPaths to export the path
 // decomposition the structural checks need, or pass -verify to
-// cmd/flowsolve for the one-shot report. The property tests in
+// cmd/flowsolve for the one-shot report. flowcheck.VerifyRouting applies
+// the same discipline to the static ECMP/VLB baselines of
+// internal/routing (per-node conservation, load sanity, bottleneck-ratio
+// throughput). The property tests in
 // internal/mcf certify randomized instances on every run, and the golden
 // tests in internal/experiments pin representative figure outputs
 // byte-for-byte (regenerate intentional drift with `go test

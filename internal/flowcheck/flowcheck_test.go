@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mcf"
+	"repro/internal/routing"
 	"repro/internal/rrg"
 	"repro/internal/traffic"
 )
@@ -183,6 +184,144 @@ func TestVerifyPathsWithoutArcFlow(t *testing.T) {
 		t.Fatal("paths without ArcFlow accepted")
 	}
 	if !strings.Contains(rep.Err().Error(), "decomposition") {
+		t.Fatalf("wrong check failed: %v", rep.Err())
+	}
+}
+
+// ---- static routing verification (ECMP / VLB) ----
+
+func routed(t *testing.T) (*graph.Graph, []traffic.Flow) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(6))
+	g, err := rrg.Regular(rng, 18, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		g.SetServers(u, 2)
+	}
+	tm := traffic.Permutation(rng, traffic.HostsOf(g))
+	return g, tm.Flows
+}
+
+func TestVerifyRoutingPassesOnHonestECMPAndVLB(t *testing.T) {
+	g, flows := routed(t)
+	for name, run := range map[string]func(*graph.Graph, []traffic.Flow) (*routing.ECMPResult, error){
+		"ecmp": routing.ECMP, "vlb": routing.VLB,
+	} {
+		res, err := run(g, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := VerifyRouting(g, flows, res, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("honest %s routing rejected:\n%s", name, rep)
+		}
+	}
+}
+
+// Tamper detection: a verifier that cannot catch teleported load, cooked
+// throughput, or invalid loads certifies nothing.
+func TestVerifyRoutingDetectsTeleportedLoad(t *testing.T) {
+	g, flows := routed(t)
+	res, err := routing.ECMP(g, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject flow appearing out of thin air mid-network.
+	for a := range res.ArcLoad {
+		if res.ArcLoad[a] > 0 {
+			res.ArcLoad[a] += 0.5
+			break
+		}
+	}
+	rep, err := VerifyRouting(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("teleported load accepted:\n%s", rep)
+	}
+	if !strings.Contains(rep.Err().Error(), "conservation") {
+		t.Fatalf("wrong check failed: %v", rep.Err())
+	}
+}
+
+func TestVerifyRoutingDetectsInflatedThroughput(t *testing.T) {
+	g, flows := routed(t)
+	res, err := routing.VLB(g, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Throughput *= 1.5
+	rep, err := VerifyRouting(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("inflated throughput accepted:\n%s", rep)
+	}
+	if !strings.Contains(rep.Err().Error(), "throughput") {
+		t.Fatalf("wrong check failed: %v", rep.Err())
+	}
+}
+
+func TestVerifyRoutingDetectsNegativeLoad(t *testing.T) {
+	g, flows := routed(t)
+	res, err := routing.ECMP(g, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ArcLoad[0] = -1
+	rep, err := VerifyRouting(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("negative load accepted")
+	}
+	if !strings.Contains(rep.Err().Error(), "load") {
+		t.Fatalf("wrong check failed: %v", rep.Err())
+	}
+}
+
+func TestVerifyRoutingShapeMismatch(t *testing.T) {
+	g, flows := routed(t)
+	res, err := routing.ECMP(g, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ArcLoad = res.ArcLoad[:len(res.ArcLoad)-1]
+	if _, err := VerifyRouting(g, flows, res, Options{}); err == nil {
+		t.Fatal("truncated ArcLoad accepted as structurally usable")
+	}
+}
+
+func TestVerifyRoutingDetectsWrongBottleneck(t *testing.T) {
+	g, flows := routed(t)
+	res, err := routing.ECMP(g, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point the reported bottleneck at an arc that does not attain the
+	// minimum ratio (an unloaded one is never a valid bottleneck).
+	for a := range res.ArcLoad {
+		if res.ArcLoad[a] == 0 {
+			res.Bottleneck = a
+			break
+		}
+	}
+	rep, err := VerifyRouting(g, flows, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("wrong bottleneck arc accepted:\n%s", rep)
+	}
+	if !strings.Contains(rep.Err().Error(), "throughput") {
 		t.Fatalf("wrong check failed: %v", rep.Err())
 	}
 }

@@ -23,6 +23,13 @@ type DijkstraScratch struct {
 	// complete records whether the last Run settled every reachable node
 	// (no early exit), which is the precondition for Repair.
 	complete bool
+	// Bucket-queue state for RunBucketed (see bucket.go), allocated on
+	// first use and reused after.
+	bqSlots   [][]item
+	bqOver    []item
+	bqPending []int32
+	bqRebases int
+	bqBailed  bool
 	// Repair working buffers, allocated on first use and reused after.
 	affected  []bool
 	childHead []int32

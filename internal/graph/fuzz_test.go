@@ -63,6 +63,85 @@ func FuzzGraphRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzBucketMatchesHeap: on a derived random graph with random lengths,
+// the bucket-queue traversal must be bit-identical to the heap Dijkstra —
+// full runs and early-exit target runs alike. The fuzzer drives the graph
+// shape, the length distribution, the bucket width (any fraction of the
+// minimum length, the documented validity range), and the target set.
+func FuzzBucketMatchesHeap(f *testing.F) {
+	f.Add(int64(1), uint8(255), []byte{0})
+	f.Add(int64(42), uint8(128), []byte{1, 2, 3})
+	f.Add(int64(99), uint8(1), []byte{7, 7, 7, 7})
+	f.Add(int64(7), uint8(64), []byte{200, 100, 50, 25, 12, 6})
+
+	f.Fuzz(func(t *testing.T, seed int64, deltaByte uint8, targetBytes []byte) {
+		if len(targetBytes) > 64 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(50)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.AddLink(rng.Intn(i), i, 1)
+		}
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddLink(u, v, 1)
+			}
+		}
+		lens := make([]float64, g.NumArcs())
+		for a := range lens {
+			lens[a] = 0.05 + rng.Float64()
+			if rng.Intn(8) == 0 {
+				lens[a] *= 1000 // occasional wide spread to force rebases
+			}
+		}
+		minLen, _ := LengthRange(lens)
+		// deltaByte sweeps (0, 2·minLen]: values ≤ minLen take the fast
+		// bucket path, larger ones force the short-arc bail-to-heap, and
+		// both must stay bit-identical to the heap.
+		delta := minLen * (float64(deltaByte) + 1) / 128
+		src := rng.Intn(n)
+		dh, db := g.NewDijkstraScratch(), g.NewDijkstraScratch()
+		dh.Run(src, lens, nil)
+		db.RunBucketed(src, lens, nil, delta)
+		for v := 0; v < n; v++ {
+			if dh.Dist(v) != db.Dist(v) {
+				t.Fatalf("dist[%d]: heap %v, bucket %v", v, dh.Dist(v), db.Dist(v))
+			}
+			if dh.Via(v) != db.Via(v) {
+				t.Fatalf("via[%d]: heap %d, bucket %d", v, dh.Via(v), db.Via(v))
+			}
+		}
+		// Early-exit run: targets and their root paths must be final.
+		var targets []int32
+		for _, b := range targetBytes {
+			if v := int(b) % n; v != src {
+				targets = append(targets, int32(v))
+			}
+		}
+		if len(targets) == 0 {
+			return
+		}
+		db.RunBucketed(src, lens, targets, delta)
+		for _, v := range targets {
+			at := int(v)
+			for at != src {
+				if db.Dist(at) != dh.Dist(at) {
+					t.Fatalf("target %d path node %d: bucket %v, full heap %v", v, at, db.Dist(at), dh.Dist(at))
+				}
+				a := db.Via(at)
+				if a != dh.Via(at) {
+					t.Fatalf("target %d path node %d: bucket via %d, full heap via %d", v, at, a, dh.Via(at))
+				}
+				at = int(g.Arc(int(a)).From)
+			}
+		}
+	})
+}
+
 // FuzzRepairMatchesRebuild: arbitrary increase-only length evolutions on a
 // derived random graph must keep Repair bit-identical to a from-scratch
 // Dijkstra. The fuzzer drives which arcs grow, by how much, and how the

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/runner"
 	"repro/internal/traffic"
 )
 
@@ -42,6 +43,24 @@ type Options struct {
 	// shortest paths are unique); the knob exists for the repair-vs-rebuild
 	// benchmarks and oracle tests.
 	DisableRepair bool
+	// Workers bounds the concurrency of the phase-start tree prebuild
+	// (0 means GOMAXPROCS, 1 forces the serial path). Worker count NEVER
+	// changes the solve's output: all trees a phase prebuilds are computed
+	// against the frozen phase-start length function with per-source
+	// scratch state, and all shared counters are reduced serially in
+	// source order afterwards — TestSolverDeterministicAcrossWorkers
+	// enforces byte-identical results for 1, 2, and GOMAXPROCS workers.
+	// Actual parallelism is additionally bounded by the process-wide
+	// runner semaphore (runner.SetMaxInFlight), so nested solves cannot
+	// multiply goroutines.
+	Workers int
+	// DisableBucket forces every tree construction onto the 4-ary heap
+	// Dijkstra instead of letting the solver pick the bucket-queue
+	// traversal when the phase's length spread favors it. The trajectory
+	// is unaffected either way (both traversals produce identical trees
+	// when shortest paths are unique); the knob is the kill switch for
+	// workloads where the adaptive heuristic misjudges.
+	DisableBucket bool
 }
 
 // DefaultEpsilon is used when Options.Epsilon is zero.
@@ -76,6 +95,15 @@ type Result struct {
 	// incremental repairs, respectively — the repair hit rate.
 	TreeBuilds  int
 	TreeRepairs int
+	// TreePrebuilds counts the tree refreshes (builds or repairs) executed
+	// by the concurrent phase-start prebuild pass rather than serially
+	// inside the routing loop — the parallelizable share of the tree work.
+	TreePrebuilds int
+	// BucketBuilds counts the tree constructions served by the monotone
+	// bucket-queue traversal; the remaining TreeBuilds used the 4-ary
+	// heap. The solver picks per phase from the length spread and falls
+	// back to the heap when bucket rebases keep losing.
+	BucketBuilds int
 	// Epsilon is the effective approximation parameter of the solve.
 	Epsilon float64
 	// DualLens is the Garg–Könemann length function of the phase whose
@@ -219,6 +247,26 @@ type state struct {
 	// return to early-exiting Dijkstras.
 	builds, repairs, repairTries int
 
+	// Phase-start concurrent prebuild (see prebuildTrees): pool bounds the
+	// workers, staleSrcs is the reusable list of sources whose trees the
+	// phase refreshes up front, prebuilds counts those refreshes.
+	pool      *runner.Pool
+	staleSrcs []int
+	prebuilds int
+
+	// Per-phase traversal choice (see choosePhaseTraversal): phaseDelta is
+	// the bucket width derived from the phase-start length function,
+	// useBucket the phase's heap-vs-bucket decision, noBucket the sticky
+	// off switch (Options.DisableBucket or the rebase kill switch).
+	// bucketBuilds/bucketRebases track the bucket path's hit count and its
+	// failure mode, mirroring the repair kill-switch machinery.
+	phaseDelta    float64
+	useBucket     bool
+	noBucket      bool
+	bucketBuilds  int
+	bucketRebases int
+	bucketBails   int
+
 	// rec accumulates the path decomposition when Options.RecordPaths is on.
 	rec []PathFlow
 	// recordPaths mirrors Options.RecordPaths.
@@ -246,6 +294,9 @@ type srcTree struct {
 	// the phase the tree was last refreshed in.
 	phaseOf   int
 	refreshes int
+	// targets caches the source batch's destination list so a concurrent
+	// prebuild task needs no shared buffer; filled by the phase-start scan.
+	targets []int32
 }
 
 // persistentTreeBudget caps the memory (in bytes, approximately) spent on
@@ -265,6 +316,8 @@ func newState(g *graph.Graph, flows []traffic.Flow, eps float64, opt Options) *s
 		flows:       flows,
 		routed:      make([]float64, len(flows)),
 		noRepair:    opt.DisableRepair,
+		noBucket:    opt.DisableBucket,
+		pool:        runner.New(opt.Workers),
 		recordPaths: opt.RecordPaths,
 		bestBound:   math.Inf(1),
 	}
@@ -326,6 +379,84 @@ func (s *state) checkReachability() error {
 	return nil
 }
 
+// bucketRangeLimit bounds the length spread (max/min over positive arc
+// lengths) under which the bucket-queue traversal is considered at all.
+// Beyond it, bucket indices (distance/delta) can outgrow what the queue
+// handles gracefully: the window thrashes and, in the extreme, the
+// float→int64 bucket conversion itself would overflow. Garg–Könemann
+// lengths start uniform up to capacity ratios and spread multiplicatively
+// as phases route, so early and mid solve sit far below the limit.
+const bucketRangeLimit = 1 << 16
+
+// Deterministic bucket kill switch, mirroring the repair one: once
+// bucketMinRuns bucket traversals have executed and they averaged more
+// than bucketRebaseBudget overflow rebases each, the length structure is
+// hostile (distances spread far beyond the resident window) and the solver
+// reverts to the heap for the rest of the solve. Rebase counts depend only
+// on the frozen inputs of each run, so the switch flips — or doesn't —
+// identically across worker counts.
+const (
+	bucketMinRuns      = 16
+	bucketRebaseBudget = 4
+)
+
+// choosePhaseTraversal derives the phase's bucket width from the
+// phase-start length function and decides heap vs bucket from the length
+// spread. One O(m) scan per phase; every rebuild in the phase reuses the
+// decision (lengths only grow, so phaseDelta stays a valid bucket width
+// all phase).
+func (s *state) choosePhaseTraversal() {
+	if s.noBucket {
+		s.useBucket = false
+		return
+	}
+	minLen, maxLen := graph.LengthRange(s.lens)
+	s.phaseDelta = minLen
+	s.useBucket = minLen > 0 && maxLen <= bucketRangeLimit*minLen
+}
+
+// runTree executes one shortest-path tree construction for src with the
+// phase's traversal choice, reporting whether the bucket path ran and how
+// many overflow rebases it needed. It writes only t's scratch, so it is
+// safe to run concurrently for distinct trees while s.lens is frozen.
+func (s *state) runTree(t *srcTree, src int, targets []int32) (bucket, bailed bool, rebases int) {
+	if t.full {
+		targets = nil
+	}
+	if s.useBucket {
+		t.scratch.RunBucketed(src, s.lens, targets, s.phaseDelta)
+		return true, t.scratch.BucketBailed(), t.scratch.BucketRebases()
+	}
+	t.scratch.Run(src, s.lens, targets)
+	return false, false, 0
+}
+
+// noteBucket folds one construction's traversal stats into the solve and
+// trips the kill switches when the bucket path keeps losing: persistent
+// window rebases mean the length spread outgrew the resident window, and
+// bails mean mid-phase length growth pushed distances past what the
+// phase-start bucket width can index at all (each bail already cost a
+// wasted partial traversal before the heap rerun, so two are enough).
+func (s *state) noteBucket(bucket, bailed bool, rebases int) {
+	if !bucket {
+		return
+	}
+	if bailed {
+		s.bucketBails++
+		if s.bucketBails >= 2 {
+			s.noBucket = true
+			s.useBucket = false
+		}
+		return
+	}
+	s.bucketBuilds++
+	s.bucketRebases += rebases
+	if s.bucketBuilds >= bucketMinRuns && s.bucketRebases > bucketRebaseBudget*s.bucketBuilds {
+		s.noBucket = true
+		s.useBucket = false
+	}
+}
+
 // buildTree computes a fresh shortest-path tree for the source batch and
 // snapshots the length function so later routing can detect staleness.
 // Hot sources (see srcTree.hot) are built in full — incremental repair
@@ -334,15 +465,12 @@ func (s *state) checkReachability() error {
 // repair existed.
 func (s *state) buildTree(t *srcTree, src int, targets []int32) {
 	t.full = !s.noRepair && t.hot
-	if t.full {
-		t.scratch.Run(src, s.lens, nil)
-	} else {
-		t.scratch.Run(src, s.lens, targets)
-	}
+	bucket, bailed, rebases := s.runTree(t, src, targets)
 	copy(t.lenAtBuild, s.lens)
 	t.seq = s.growSeq
 	t.built = true
 	s.builds++
+	s.noteBucket(bucket, bailed, rebases)
 }
 
 // repairBudget bounds the stale region an incremental repair may process,
@@ -404,6 +532,132 @@ func (s *state) refreshTree(t *srcTree, src int, targets []int32) {
 	}
 }
 
+// phaseStale reports whether src's tree needs a phase-start refresh: never
+// built, or some requested root path is missing or has outgrown the (1+ε)
+// Fleischer slack under the phase-start lengths. This is exactly the test
+// the routing loop applies before each piece, so the prebuild refreshes
+// only trees whose first piece of the phase would have forced a serial
+// refresh anyway.
+func (s *state) phaseStale(t *srcTree, src int) bool {
+	if !t.built {
+		return true
+	}
+	onePlusEps := 1 + s.eps
+	for _, j := range s.bySrc[src] {
+		var nowLen, buildLen float64
+		at := s.flows[j].Dst
+		for at != src {
+			a := t.scratch.Via(at)
+			if a < 0 {
+				return true // the tree does not reach this destination
+			}
+			nowLen += s.lens[a]
+			buildLen += t.lenAtBuild[a]
+			at = int(s.g.Arc(int(a)).From)
+		}
+		if nowLen > onePlusEps*buildLen {
+			return true
+		}
+	}
+	return false
+}
+
+// prebuildStats is one prebuild task's outcome, returned instead of
+// mutating shared counters so the reduce stays serial and deterministic.
+type prebuildStats struct {
+	repairTried bool
+	repaired    bool
+	bucket      bool
+	bailed      bool
+	rebases     int
+}
+
+// prebuildOne brings one stale tree current against the frozen phase-start
+// length function. It is the concurrent mirror of refreshTree: same repair
+// attempt, budget, and rebuild fallback — but every shared input (lens,
+// grownAt, growSeq, the phase's traversal choice, the adaptive switches)
+// is read-only here, and it writes only t.
+func (s *state) prebuildOne(t *srcTree, src int) prebuildStats {
+	var st prebuildStats
+	if t.built && t.full && !s.noRepair {
+		seq := t.seq
+		st.repairTried = true
+		if t.scratch.RepairStale(s.lens,
+			func(a int32) bool { return s.grownAt[a] > seq },
+			s.g.N()/repairBudget) {
+			st.repaired = true
+			copy(t.lenAtBuild, s.lens)
+			t.seq = s.growSeq
+			return st
+		}
+	}
+	t.full = !s.noRepair && t.hot
+	st.bucket, st.bailed, st.rebases = s.runTree(t, src, t.targets)
+	copy(t.lenAtBuild, s.lens)
+	t.seq = s.growSeq
+	t.built = true
+	return st
+}
+
+// prebuildTrees is the phase-start parallel pass: under the frozen
+// phase-start length function it finds every source whose tree the phase
+// is about to refresh anyway (phaseStale) and refreshes them all
+// concurrently, one persistent scratch per source, bounded by the solve's
+// pool and the process-wide runner semaphore. Routing then proceeds
+// serially against those trees, so the solve's output is byte-identical
+// regardless of worker count; only wall-clock changes. The (1+ε) staleness
+// check in the routing loop still guards every piece, so trees that go
+// stale again mid-phase (from this phase's own routing) are refreshed
+// serially exactly as before.
+func (s *state) prebuildTrees() {
+	if s.perSrc == nil {
+		return // shared-tree fallback: one slot, nothing to parallelize
+	}
+	stale := s.staleSrcs[:0]
+	for _, src := range s.srcs {
+		t := s.treeFor(src)
+		if !s.phaseStale(t, src) {
+			continue
+		}
+		// The phase-start staleness of a previously-built tree counts
+		// toward the heat detector exactly as the first serial refresh of
+		// the phase used to.
+		if t.built {
+			t.phaseOf, t.refreshes = s.phases, 1
+		}
+		t.targets = t.targets[:0]
+		for _, j := range s.bySrc[src] {
+			t.targets = append(t.targets, int32(s.flows[j].Dst))
+		}
+		stale = append(stale, src)
+	}
+	s.staleSrcs = stale
+	if len(stale) == 0 {
+		return
+	}
+	stats, _ := runner.Map(s.pool, len(stale), func(i int) (prebuildStats, error) {
+		src := stale[i]
+		return s.prebuildOne(s.perSrc[src], src), nil
+	})
+	// Serial reduce in source order: counters and kill switches see the
+	// same sequence no matter how the tasks were scheduled.
+	for _, st := range stats {
+		if st.repairTried {
+			s.repairTries++
+		}
+		if st.repaired {
+			s.repairs++
+		} else {
+			s.builds++
+		}
+		s.prebuilds++
+		s.noteBucket(st.bucket, st.bailed, st.rebases)
+	}
+	if s.repairTries >= repairMinTries && s.repairs*repairWinRatio < s.repairTries {
+		s.noRepair = true
+	}
+}
+
 // runPhase routes each commodity's full demand once under the current
 // length function. Commodities sharing a source share one Dijkstra tree
 // (Fleischer-style batching), and trees persist across phases; a tree is
@@ -416,6 +670,8 @@ func (s *state) refreshTree(t *srcTree, src int, targets []int32) {
 // Dijkstra each, and sources whose neighborhoods are quiet skip the
 // per-phase Dijkstra entirely.
 func (s *state) runPhase() {
+	s.choosePhaseTraversal()
+	s.prebuildTrees()
 	onePlusEps := 1 + s.eps
 	s.alpha = 0
 	for _, src := range s.srcs {
@@ -432,10 +688,11 @@ func (s *state) runPhase() {
 		for _, j := range js {
 			dst := s.flows[j].Dst
 			remaining := s.flows[j].Demand
-			// One dual term per commodity per phase, from the tree its
-			// first piece routes on (distances only grow afterwards, so
-			// this stays a valid lower bound on the end-of-phase distance).
-			firstPiece := true
+			// In shared-tree mode the slot is overwritten by the next
+			// source, so the dual term must be taken from the tree the
+			// first piece routes on; per-source mode defers to the fresher
+			// phase-end trees below.
+			firstPiece := s.perSrc == nil
 			for remaining > 0 {
 				path := s.walkPath(t, dst)
 				if path != nil {
@@ -487,6 +744,20 @@ func (s *state) runPhase() {
 				s.volLen += u * float64(len(path))
 				s.vol += u
 				remaining -= u
+			}
+		}
+	}
+	if s.perSrc != nil {
+		// Dual normalizer from the phase-end trees: each source's newest
+		// tree was built (or repaired) under lengths ≤ the end-of-phase
+		// lengths, so Σ demand·dist is a valid α — and the freshest one
+		// available without extra Dijkstras, which keeps the primal-dual
+		// certificate as tight as possible now that prebuilt trees carry
+		// phase-start (smaller) distances.
+		for _, src := range s.srcs {
+			t := s.perSrc[src]
+			for _, j := range s.bySrc[src] {
+				s.alpha += s.flows[j].Demand * t.scratch.Dist(s.flows[j].Dst)
 			}
 		}
 	}
@@ -571,13 +842,15 @@ func (s *state) result() *Result {
 		witness = s.lens
 	}
 	res := &Result{
-		ArcFlow:     make([]float64, s.m),
-		ArcUtil:     make([]float64, s.m),
-		Phases:      s.phases,
-		TreeBuilds:  s.builds,
-		TreeRepairs: s.repairs,
-		Epsilon:     s.eps,
-		DualLens:    append([]float64(nil), witness...),
+		ArcFlow:       make([]float64, s.m),
+		ArcUtil:       make([]float64, s.m),
+		Phases:        s.phases,
+		TreeBuilds:    s.builds,
+		TreeRepairs:   s.repairs,
+		TreePrebuilds: s.prebuilds,
+		BucketBuilds:  s.bucketBuilds,
+		Epsilon:       s.eps,
+		DualLens:      append([]float64(nil), witness...),
 	}
 	// Maximum congestion certifies feasibility after scaling.
 	var chi float64
