@@ -8,9 +8,11 @@
 //	benchjson [-o dir] [-benchtime 1s] [-baseline BENCH_x.json] [-gate name=pct,...]
 //
 // The snapshot covers the flow solver (scale, epsilon, repair-vs-rebuild,
-// and phase-parallel worker-scaling ablations), the bisection-bandwidth
-// estimator, and two representative figure runners in quick mode (one
-// grid-heavy, one decomposition-heavy).
+// prebuild staleness-margin, and phase-parallel worker-scaling ablations),
+// the scenario engine's solve cache (cold vs warm repeated-instance
+// sweep), the bisection-bandwidth estimator, and two representative
+// figure runners in quick mode (one grid-heavy, one
+// decomposition-heavy).
 //
 // With -baseline, the fresh snapshot is compared entry-by-entry against a
 // committed earlier snapshot; -gate turns selected comparisons into hard
@@ -36,6 +38,7 @@ import (
 	"repro/internal/mcf"
 	"repro/internal/rrg"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/traffic"
 )
 
@@ -104,6 +107,18 @@ func main() {
 		mode := mode
 		add("SolverRepair/"+mode, func(b *testing.B) {
 			benchRepair(b, 400, 6, mode == "repair")
+		})
+	}
+	for _, m := range []float64{0, 0.5} {
+		m := m
+		add(fmt.Sprintf("SolverMargin/margin=%v", m), func(b *testing.B) {
+			benchSolveMargin(b, 40, 10, 5, 0.2, m)
+		})
+	}
+	for _, mode := range []string{"cold", "warm"} {
+		mode := mode
+		add("ScenarioCache/"+mode, func(b *testing.B) {
+			benchScenarioCache(b, mode == "warm")
 		})
 	}
 	for _, w := range []int{1, 2, 4} {
@@ -230,6 +245,55 @@ func compare(baselinePath string, snap *Snapshot, gates string) error {
 
 func benchSolve(b *testing.B, n, r, sps int, eps float64) {
 	benchSolveWorkers(b, n, r, sps, eps, 0)
+}
+
+// benchSolveMargin mirrors BenchmarkSolverMargin: the high-ε double-build
+// instance with the phase-start prebuild's staleness margin on or off.
+func benchSolveMargin(b *testing.B, n, r, sps int, eps, margin float64) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := rrg.Regular(rng, n, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		g.SetServers(u, sps)
+	}
+	tm := traffic.Permutation(rng, traffic.HostsOf(g))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: eps, PrebuildMargin: margin}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchScenarioCache mirrors BenchmarkScenarioCache: a repeated-instance
+// degree sweep through the scenario engine, cold vs against a primed
+// content-addressed cache.
+func benchScenarioCache(b *testing.B, warm bool) {
+	grid, err := scenario.ParseGrid("topo=rrg:n=40,sps=5 traffic=permutation eval=mcf sweep=deg:6..14:4 runs=2 eps=0.12 seed=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warm {
+		e := &scenario.Engine{Parallel: 1, Cache: scenario.NewCache()}
+		if _, _, err := grid.Run(e); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := grid.Run(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		e := &scenario.Engine{Parallel: 1}
+		if _, _, err := grid.Run(e); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchSolveWorkers(b *testing.B, n, r, sps int, eps float64, workers int) {

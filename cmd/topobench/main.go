@@ -1,10 +1,23 @@
-// Command topobench regenerates the paper's figures.
+// Command topobench regenerates the paper's figures and runs arbitrary
+// topology-evaluation scenarios.
 //
 // Usage:
 //
 //	topobench -fig 6a [-runs 20] [-seed 1] [-eps 0.08] [-quick] [-o out.tsv]
 //	topobench -list
 //	topobench -all -quick -o results/
+//	topobench -scenario "topo=rrg:n=400,deg=10 traffic=permutation eval=mcf sweep=deg:4..16"
+//	topobench -scenario-list
+//
+// The -scenario mode executes a declarative grid over the scenario
+// registries (see internal/scenario for the spec grammar): any registered
+// topology × traffic × evaluator combination, swept over topo/traffic/eval
+// parameters, with a content-addressed solve cache deduplicating repeated
+// instances. Combinations no paper figure exercises work the same way,
+// e.g.
+//
+//	topobench -scenario "topo=plrrg:n=40,avg=8,kmax=16,sfrac=0.4 traffic=hotspot:frac=0.3 eval=mcf sweep=traffic.frac:0.1,0.3,0.5"
+//	topobench -scenario "topo=vl2:da=8,di=8 traffic=none eval=bisection sweep=da:4..12:2"
 //
 // Grid points and runs are evaluated concurrently by default (bounded by
 // GOMAXPROCS); -parallel=false forces serial execution. Both modes emit
@@ -23,6 +36,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -30,7 +44,9 @@ func main() {
 		fig      = flag.String("fig", "", "figure ID to regenerate (e.g. 1a, 6c, 12a)")
 		all      = flag.Bool("all", false, "regenerate every figure")
 		list     = flag.Bool("list", false, "list available figure IDs")
-		runs     = flag.Int("runs", 0, "runs per data point (default: 20, or 3 with -quick)")
+		scen     = flag.String("scenario", "", "run a declarative scenario grid, e.g. \"topo=rrg:n=400,deg=10 traffic=permutation eval=mcf sweep=deg:4..16\"")
+		scenList = flag.Bool("scenario-list", false, "list the scenario registry (topologies, traffics, evaluators)")
+		runs     = flag.Int("runs", 0, "runs per data point (default: 20, or 3 with -quick; scenario default 3)")
 		seed     = flag.Int64("seed", 1, "base RNG seed")
 		eps      = flag.Float64("eps", 0, "flow solver epsilon (default 0.08, or 0.12 with -quick)")
 		quick    = flag.Bool("quick", false, "reduced grids and run counts")
@@ -46,6 +62,21 @@ func main() {
 		}
 		return
 	}
+	if *scenList {
+		fmt.Println("topologies:")
+		for _, k := range scenario.TopologyKinds() {
+			fmt.Println("  " + k)
+		}
+		fmt.Println("traffics:")
+		for _, k := range scenario.TrafficKinds() {
+			fmt.Println("  " + k)
+		}
+		fmt.Println("evaluators:")
+		for _, k := range scenario.EvaluatorKinds() {
+			fmt.Println("  " + k)
+		}
+		return
+	}
 
 	par := *workers
 	if !*parallel {
@@ -54,9 +85,16 @@ func main() {
 	// Bound TOTAL in-flight work (across nested grid/run/simulation
 	// parallelism) to the requested worker count, not just each level.
 	runner.SetMaxInFlight(par)
-	opts := experiments.Options{Runs: *runs, Seed: *seed, Epsilon: *eps, Quick: *quick, Parallel: par}
+	// Share one solve cache across everything this invocation runs, so
+	// figures (and -all batches) reusing instances never re-solve.
+	opts := experiments.Options{Runs: *runs, Seed: *seed, Epsilon: *eps, Quick: *quick, Parallel: par,
+		Cache: scenario.Default}
 
 	switch {
+	case *scen != "":
+		if err := runScenario(*scen, *runs, *seed, *eps, par, *out); err != nil {
+			fatal(err)
+		}
 	case *all:
 		dir := *out
 		if dir == "" {
@@ -78,6 +116,42 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runScenario parses and executes one -scenario grid. Flag values apply as
+// defaults; runs/seed/eps inside the grid line win.
+func runScenario(line string, runs int, seed int64, eps float64, par int, outPath string) error {
+	grid, err := scenario.ParseGrid(line)
+	if err != nil {
+		return err
+	}
+	if grid.Runs == 0 {
+		grid.Runs = runs
+	}
+	if grid.Seed == 0 {
+		grid.Seed = seed
+	}
+	if grid.Epsilon == 0 {
+		grid.Epsilon = eps
+	}
+	eng := &scenario.Engine{Parallel: par, Cache: scenario.Default, SkipInfeasible: true}
+	start := time.Now()
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := grid.WriteTSV(eng, w); err != nil {
+		return err
+	}
+	hits, misses, _ := scenario.Default.Stats()
+	fmt.Fprintf(os.Stderr, "scenario done in %v (cache: %d hits, %d misses)\n",
+		time.Since(start).Round(time.Millisecond), hits, misses)
+	return nil
 }
 
 func runOne(id string, opts experiments.Options, outPath string) error {

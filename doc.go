@@ -8,6 +8,26 @@
 // evaluation in reduced "quick" mode; use cmd/topobench for full-fidelity
 // runs.
 //
+// # Scenario engine
+//
+// internal/scenario is the unified evaluation substrate: Topology,
+// Traffic, and Evaluator interfaces with string-keyed registries wrapping
+// the topo/rrg/hetero generators, the traffic patterns, and the
+// throughput/bisection/packet/ASPL/cut metrics. A scenario is addressed
+// by spec strings ("rrg:n=400,deg=10" × "permutation" × "mcf"), swept
+// declaratively (scenario.Grid, `topobench -scenario "topo=... sweep=
+// deg:4..16"`), executed on the internal/runner pool with the
+// byte-identical serial/parallel guarantee, and memoized in a
+// content-addressed solve cache keyed on (topology spec, traffic spec,
+// evaluator spec, ε, seed, runs) — instances shared across figures,
+// sweeps, and adaptive searches solve once per process. All 27 Fig*
+// runners are thin declarative layers over this engine (their golden
+// outputs are pinned byte-for-byte), and any registry combination the
+// paper never evaluated — power-law RRGs under hotspot traffic, VL2
+// bisection bandwidth — runs through the same machinery. See the
+// internal/scenario package comment for the spec grammar, the cache key
+// invariant, and how to register new kinds.
+//
 // # Performance architecture
 //
 // Every figure of the evaluation bottoms out in mcf.Solve, the
@@ -36,7 +56,11 @@
 // test the routing loop applies) and refreshes them all concurrently
 // against the frozen phase-start length function — one persistent scratch
 // per source, worker count bounded by Options.Workers and the process-wide
-// runner semaphore. Routing then proceeds serially against those trees, so
+// runner semaphore. Options.PrebuildMargin optionally tightens that
+// phase-start test to (1 + (1−margin)·ε), pulling borderline-fresh trees
+// into the parallel pass while their stale regions are still small enough
+// to repair — the mitigation for the serial mid-phase double-build tax on
+// tiny high-ε instances (SolverMargin in the bench snapshot). Routing then proceeds serially against those trees, so
 // the solve's output is byte-identical regardless of worker count (the
 // golden figures stay byte-for-byte across machines); only wall-clock
 // changes. Each rebuild also picks its traversal adaptively: when the
@@ -92,7 +116,12 @@
 // cmd/flowsolve for the one-shot report. flowcheck.VerifyRouting applies
 // the same discipline to the static ECMP/VLB baselines of
 // internal/routing (per-node conservation, load sanity, bottleneck-ratio
-// throughput). The property tests in
+// throughput). flowcheck.VerifyPacket certifies the packet simulator's
+// measurement window from its event-level audit (packet.Audit): exact
+// per-node packet conservation — injected + arrived = delivered +
+// next-hop attempts, in integers — per-arc line-rate sanity, and
+// goodput/delivered consistency; the scenario engine's packet evaluator
+// runs it on every simulation. The property tests in
 // internal/mcf certify randomized instances on every run, and the golden
 // tests in internal/experiments pin representative figure outputs
 // byte-for-byte (regenerate intentional drift with `go test

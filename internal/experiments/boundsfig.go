@@ -1,81 +1,49 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/bounds"
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hetero"
-	"repro/internal/rrg"
-	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
-// boundSweep measures, for every cross-cluster ratio (one concurrent task
-// per ratio), the observed throughput and the Eq. 1 two-cluster upper
-// bound (averaged over runs). It also reports the measured cross-cluster
-// capacity C̄ at every point.
+// boundSweep measures, for every cross-cluster ratio (one detailed
+// scenario point per ratio), the observed throughput and the Eq. 1
+// two-cluster upper bound (averaged over runs). It also reports the
+// measured cross-cluster capacity C̄ at every point.
 func boundSweep(o Options, cfgAt func(x float64) hetero.Config, xs []float64, seedMix int64) (keptX, obs, bnd, crossCap []float64, n1, n2 int, err error) {
-	type point struct {
-		obs, bnd, cross float64
-		n1, n2          int
-		ok              bool
+	pts := make([]scenario.Point, len(xs))
+	for i, x := range xs {
+		pts[i] = o.evalPoint(&scenario.Hetero{Cfg: cfgAt(x)}, scenario.Permutation{}, seedMix+int64(x*1000))
 	}
-	pts, err := runner.Map(o.pool(), len(xs), func(i int) (point, error) {
-		x := xs[i]
-		cfg := cfgAt(x)
-		if _, berr := hetero.Build(rand.New(rand.NewSource(1)), cfg); berr != nil {
-			if errors.Is(berr, hetero.ErrInfeasiblePoint) || errors.Is(berr, rrg.ErrInfeasible) {
-				return point{}, nil
-			}
-			return point{}, berr
-		}
-		ev := core.Evaluation{
-			Workload: core.Permutation,
-			Runs:     o.Runs,
-			Seed:     o.Seed + seedMix + int64(x*1000),
-			Epsilon:  o.Epsilon,
-			Parallel: o.Parallel,
-		}
-		results, graphs, rerr := ev.Detailed(func(rng *rand.Rand) (*graph.Graph, error) {
-			return hetero.Build(rng, cfg)
-		})
-		if rerr != nil {
-			return point{}, fmt.Errorf("bound sweep x=%v: %w", x, rerr)
-		}
-		mask := hetero.LargeClusterMask(cfg)
-		var p point
-		var tMean, bMean, cMean float64
-		for i, res := range results {
-			g := graphs[i]
-			aspl, _ := g.ASPL()
-			s1, s2 := clusterServers(g, mask)
-			p.n1, p.n2 = s1, s2
-			cbar := g.CrossCapacity(mask)
-			tMean += res.Throughput
-			bMean += bounds.TwoClusterBound(g.TotalCapacity(), cbar, aspl, s1, s2)
-			cMean += cbar
-		}
-		n := float64(len(results))
-		p.obs, p.bnd, p.cross = tMean/n, bMean/n, cMean/n
-		p.ok = true
-		return p, nil
-	})
+	details, err := o.sweepEngine().MeasureDetailed(pts)
 	if err != nil {
 		return nil, nil, nil, nil, 0, 0, err
 	}
-	for i, p := range pts {
-		if !p.ok {
-			continue
+	for i, dets := range details {
+		if dets == nil {
+			continue // infeasible sweep point
 		}
+		mask := hetero.LargeClusterMask(cfgAt(xs[i]))
+		var tMean, bMean, cMean float64
+		for _, det := range dets {
+			g := det.G
+			aspl, _ := g.ASPL()
+			s1, s2 := clusterServers(g, mask)
+			n1, n2 = s1, s2
+			cbar := g.CrossCapacity(mask)
+			tMean += det.Res.Throughput
+			bMean += bounds.TwoClusterBound(g.TotalCapacity(), cbar, aspl, s1, s2)
+			cMean += cbar
+		}
+		n := float64(len(dets))
 		keptX = append(keptX, xs[i])
-		obs = append(obs, p.obs)
-		bnd = append(bnd, p.bnd)
-		crossCap = append(crossCap, p.cross)
-		n1, n2 = p.n1, p.n2
+		obs = append(obs, tMean/n)
+		bnd = append(bnd, bMean/n)
+		crossCap = append(crossCap, cMean/n)
 	}
 	return keptX, obs, bnd, crossCap, n1, n2, nil
 }

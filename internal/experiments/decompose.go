@@ -1,75 +1,46 @@
 package experiments
 
 import (
-	"errors"
-	"fmt"
-	"math/rand"
-
 	"repro/internal/analysis"
-	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/hetero"
-	"repro/internal/rrg"
-	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
-// decompSweep evaluates a sweep (one concurrent task per grid point) and
-// returns the averaged §6.1 decomposition at every feasible point.
+// decompSweep evaluates a sweep on the scenario engine (one detailed point
+// per grid value) and returns the averaged §6.1 decomposition at every
+// feasible point.
 func decompSweep(o Options, mk func(x float64) hetero.Config, xs []float64, seedMix int64) ([]float64, []analysis.Decomposition, error) {
-	type point struct {
-		agg analysis.Decomposition
-		ok  bool
+	pts := make([]scenario.Point, len(xs))
+	for i, x := range xs {
+		pts[i] = o.evalPoint(&scenario.Hetero{Cfg: mk(x)}, scenario.Permutation{}, seedMix+int64(x*1000))
 	}
-	pts, err := runner.Map(o.pool(), len(xs), func(i int) (point, error) {
-		x := xs[i]
-		cfg := mk(x)
-		if _, err := hetero.Build(rand.New(rand.NewSource(1)), cfg); err != nil {
-			if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
-				return point{}, nil
-			}
-			return point{}, err
-		}
-		ev := core.Evaluation{
-			Workload: core.Permutation,
-			Runs:     o.Runs,
-			Seed:     o.Seed + seedMix + int64(x*1000),
-			Epsilon:  o.Epsilon,
-			Parallel: o.Parallel,
-		}
-		results, graphs, err := ev.Detailed(func(rng *rand.Rand) (*graph.Graph, error) {
-			return hetero.Build(rng, cfg)
-		})
-		if err != nil {
-			return point{}, fmt.Errorf("decomposition x=%v: %w", x, err)
+	details, err := o.sweepEngine().MeasureDetailed(pts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var keptX []float64
+	var ds []analysis.Decomposition
+	for i, dets := range details {
+		if dets == nil {
+			continue // infeasible sweep point
 		}
 		var agg analysis.Decomposition
-		for i, res := range results {
-			d := analysis.Decompose(graphs[i], res)
+		for _, det := range dets {
+			d := analysis.Decompose(det.G, det.Res)
 			agg.Throughput += d.Throughput
 			agg.Capacity += d.Capacity
 			agg.Utilization += d.Utilization
 			agg.SPL += d.SPL
 			agg.Stretch += d.Stretch
 		}
-		n := float64(len(results))
+		n := float64(len(dets))
 		agg.Throughput /= n
 		agg.Capacity /= n
 		agg.Utilization /= n
 		agg.SPL /= n
 		agg.Stretch /= n
-		return point{agg: agg, ok: true}, nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	var keptX []float64
-	var ds []analysis.Decomposition
-	for i, p := range pts {
-		if !p.ok {
-			continue
-		}
 		keptX = append(keptX, xs[i])
-		ds = append(ds, p.agg)
+		ds = append(ds, agg)
 	}
 	return keptX, ds, nil
 }

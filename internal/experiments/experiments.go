@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/scenario"
 )
 
 // Options configures all experiment runners.
@@ -31,9 +33,21 @@ type Options struct {
 	// task derives its RNG deterministically from (Seed, point index),
 	// parallel and serial runs produce byte-identical figures.
 	Parallel int
+	// Cache is the content-addressed solve cache the figure's scenario
+	// points are memoized in. nil gives every figure invocation a private
+	// cache: instances shared within one figure (e.g. a sizing search
+	// repeated across chunky fractions) still solve once, while repeated
+	// invocations — benchmarks, the parallel-vs-serial determinism tests —
+	// measure real work. Pass scenario.Default (as topobench does) to
+	// share solves across figures in one process. Cached values are
+	// byte-identical to cold solves, so this field never changes output.
+	Cache *scenario.Cache
 }
 
 func (o Options) withDefaults() Options {
+	if o.Cache == nil {
+		o.Cache = scenario.NewCache()
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}

@@ -2,38 +2,36 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/bounds"
 	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/rrg"
-	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
-// homPoint measures RRG throughput relative to the Theorem 1 + ASPL-bound
-// cap for one (N, r, workload, serversPerSwitch) point.
-func homPoint(o Options, n, r int, w core.Workload, serversPerSwitch int) (mean, std float64, err error) {
-	ev := core.Evaluation{
-		Workload: w,
-		Runs:     o.Runs,
-		Seed:     o.Seed + int64(n*1000+r),
-		Epsilon:  o.Epsilon,
-		Parallel: o.Parallel,
+// workloadTraffic maps the core workload enum onto the scenario traffic
+// registry (the chunky fraction travels with the spec).
+func workloadTraffic(w core.Workload, chunkyFrac float64) scenario.Traffic {
+	switch w {
+	case core.AllToAll:
+		return scenario.AllToAll{}
+	case core.Chunky:
+		return scenario.Chunky{Frac: chunkyFrac}
+	default:
+		return scenario.Permutation{}
 	}
-	st, err := ev.Throughput(func(rng *rand.Rand) (*graph.Graph, error) {
-		g, err := rrg.Regular(rng, n, r)
-		if err != nil {
-			return nil, err
-		}
-		for u := 0; u < n; u++ {
-			g.SetServers(u, serversPerSwitch)
-		}
-		return g, nil
-	})
-	if err != nil {
-		return 0, 0, err
-	}
+}
+
+// homPoint is the scenario point of one homogeneous (N, r, workload,
+// serversPerSwitch) measurement, seeded exactly as the figures always
+// seeded it.
+func homPoint(o Options, n, r int, w core.Workload, serversPerSwitch int) scenario.Point {
+	return o.evalPoint(&scenario.RRG{N: n, Deg: r, SPS: serversPerSwitch},
+		workloadTraffic(w, 0), int64(n*1000+r))
+}
+
+// homUpperBound is the Theorem 1 + ASPL-bound throughput cap the
+// homogeneous figures normalize by.
+func homUpperBound(n, r int, w core.Workload, serversPerSwitch int) float64 {
 	var f int
 	switch w {
 	case core.AllToAll:
@@ -42,8 +40,18 @@ func homPoint(o Options, n, r int, w core.Workload, serversPerSwitch int) (mean,
 	default:
 		f = n * serversPerSwitch
 	}
-	ub := bounds.ThroughputUpperBound(n, r, f)
-	return st.Mean / ub, st.Std / ub, nil
+	return bounds.ThroughputUpperBound(n, r, f)
+}
+
+// homCurves are the three workload curves of Fig. 1a/2a.
+var homCurves = []struct {
+	label string
+	w     core.Workload
+	sps   int
+}{
+	{"All to All", core.AllToAll, 1},
+	{"Permutation (10 Servers per switch)", core.Permutation, 10},
+	{"Permutation (5 Servers per switch)", core.Permutation, 5},
 }
 
 // Fig1a: throughput of RRGs relative to the upper bound as density grows
@@ -60,77 +68,57 @@ func Fig1a(o Options) (*Figure, error) {
 		ID: "1a", Title: "Random graphs vs. throughput bound (N=40)",
 		XLabel: "Network Degree", YLabel: "Throughput (Ratio to Upper-bound)",
 	}
-	curves := []struct {
-		label string
-		w     core.Workload
-		sps   int
-	}{
-		{"All to All", core.AllToAll, 1},
-		{"Permutation (10 Servers per switch)", core.Permutation, 10},
-		{"Permutation (5 Servers per switch)", core.Permutation, 5},
-	}
 	// Flatten the (curve × degree) grid so every point runs concurrently.
 	type point struct{ ci, r int }
 	var grid []point
-	for ci := range curves {
+	var pts []scenario.Point
+	for ci, c := range homCurves {
 		for _, r := range degrees {
 			grid = append(grid, point{ci, r})
+			pts = append(pts, homPoint(o, n, r, c.w, c.sps))
 		}
 	}
-	type meas struct{ mean, std float64 }
-	vals, err := runner.Map(o.pool(), len(grid), func(i int) (meas, error) {
-		p := grid[i]
-		c := curves[p.ci]
-		mean, std, err := homPoint(o, n, p.r, c.w, c.sps)
-		if err != nil {
-			return meas{}, fmt.Errorf("fig1a r=%d: %w", p.r, err)
-		}
-		return meas{mean, std}, nil
-	})
+	stats, err := o.engine().Measure(pts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fig1a: %w", err)
 	}
-	series := make([]Series, len(curves))
-	for ci, c := range curves {
+	series := make([]Series, len(homCurves))
+	for ci, c := range homCurves {
 		series[ci] = Series{Label: c.label}
 	}
 	for i, p := range grid {
+		c := homCurves[p.ci]
+		ub := homUpperBound(n, p.r, c.w, c.sps)
 		s := &series[p.ci]
 		s.X = append(s.X, float64(p.r))
-		s.Y = append(s.Y, vals[i].mean)
-		s.Err = append(s.Err, vals[i].std)
+		s.Y = append(s.Y, stats[i].Mean/ub)
+		s.Err = append(s.Err, stats[i].Std/ub)
 	}
 	fig.Series = series
 	return fig, nil
 }
 
 // asplSeries measures RRG average shortest path length and the Cerf et al.
-// lower bound across a parameter sweep, one concurrent task per point.
-// Each run's RNG is seeded from (Seed, point, run), so the series is
-// independent of evaluation order.
+// lower bound across a parameter sweep, one scenario point per sweep
+// value. Each run's RNG is seeded from (Seed, point, run), so the series
+// is independent of evaluation order.
 func asplSeries(o Options, pts []struct{ n, r int }, x func(i int) float64) (obs, bound Series, err error) {
 	obs = Series{Label: "Observed ASPL"}
 	bound = Series{Label: "ASPL lower-bound"}
-	means, err := runner.Map(o.pool(), len(pts), func(i int) (float64, error) {
-		p := pts[i]
-		var sum float64
-		for run := 0; run < o.Runs; run++ {
-			rng := rand.New(rand.NewSource(o.Seed*7919 + int64(1000*p.n+p.r) + int64(run)))
-			g, err := rrg.Regular(rng, p.n, p.r)
-			if err != nil {
-				return 0, err
-			}
-			a, _ := g.ASPL()
-			sum += a
+	spts := make([]scenario.Point, len(pts))
+	for i, p := range pts {
+		spts[i] = scenario.Point{
+			Topo: &scenario.RRG{N: p.n, Deg: p.r}, Traffic: scenario.None{}, Eval: scenario.ASPL{},
+			Seed: o.Seed*7919 + int64(1000*p.n+p.r), SeedFactor: 1, Runs: o.Runs,
 		}
-		return sum / float64(o.Runs), nil
-	})
+	}
+	stats, err := o.engine().Measure(spts)
 	if err != nil {
 		return obs, bound, err
 	}
 	for i, p := range pts {
 		obs.X = append(obs.X, x(i))
-		obs.Y = append(obs.Y, means[i])
+		obs.Y = append(obs.Y, stats[i].Mean)
 		bound.X = append(bound.X, x(i))
 		bound.Y = append(bound.Y, bounds.ASPLLowerBound(p.n, p.r))
 	}
@@ -171,18 +159,10 @@ func Fig2a(o Options) (*Figure, error) {
 		ID: "2a", Title: "Random graphs vs. throughput bound (degree=10)",
 		XLabel: "Network Size", YLabel: "Throughput (Ratio to Upper-bound)",
 	}
-	curves := []struct {
-		label string
-		w     core.Workload
-		sps   int
-	}{
-		{"All to All", core.AllToAll, 1},
-		{"Permutation (10 Servers per switch)", core.Permutation, 10},
-		{"Permutation (5 Servers per switch)", core.Permutation, 5},
-	}
 	type point struct{ ci, n int }
 	var grid []point
-	for ci, c := range curves {
+	var pts []scenario.Point
+	for ci, c := range homCurves {
 		for _, n := range sizes {
 			if c.w == core.AllToAll && n > 100 {
 				// The paper notes its simulator does not scale for
@@ -190,30 +170,24 @@ func Fig2a(o Options) (*Figure, error) {
 				continue
 			}
 			grid = append(grid, point{ci, n})
+			pts = append(pts, homPoint(o, n, r, c.w, c.sps))
 		}
 	}
-	type meas struct{ mean, std float64 }
-	vals, err := runner.Map(o.pool(), len(grid), func(i int) (meas, error) {
-		p := grid[i]
-		c := curves[p.ci]
-		mean, std, err := homPoint(o, p.n, r, c.w, c.sps)
-		if err != nil {
-			return meas{}, fmt.Errorf("fig2a n=%d: %w", p.n, err)
-		}
-		return meas{mean, std}, nil
-	})
+	stats, err := o.engine().Measure(pts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fig2a: %w", err)
 	}
-	series := make([]Series, len(curves))
-	for ci, c := range curves {
+	series := make([]Series, len(homCurves))
+	for ci, c := range homCurves {
 		series[ci] = Series{Label: c.label}
 	}
 	for i, p := range grid {
+		c := homCurves[p.ci]
+		ub := homUpperBound(p.n, r, c.w, c.sps)
 		s := &series[p.ci]
 		s.X = append(s.X, float64(p.n))
-		s.Y = append(s.Y, vals[i].mean)
-		s.Err = append(s.Err, vals[i].std)
+		s.Y = append(s.Y, stats[i].Mean/ub)
+		s.Err = append(s.Err, stats[i].Std/ub)
 	}
 	fig.Series = series
 	return fig, nil
@@ -259,25 +233,19 @@ func Fig3(o Options) (*Figure, error) {
 	obs := Series{Label: "Observed ASPL"}
 	bound := Series{Label: "ASPL lower-bound"}
 	ratio := Series{Label: "Ratio"}
-	means, err := runner.Map(o.pool(), len(sizes), func(i int) (float64, error) {
-		n := sizes[i]
-		var sum float64
-		for run := 0; run < runs; run++ {
-			rng := rand.New(rand.NewSource(o.Seed*104729 + int64(n) + int64(run)))
-			g, err := rrg.Regular(rng, n, r)
-			if err != nil {
-				return 0, err
-			}
-			a, _ := g.ASPL()
-			sum += a
+	pts := make([]scenario.Point, len(sizes))
+	for i, n := range sizes {
+		pts[i] = scenario.Point{
+			Topo: &scenario.RRG{N: n, Deg: r}, Traffic: scenario.None{}, Eval: scenario.ASPL{},
+			Seed: o.Seed*104729 + int64(n), SeedFactor: 1, Runs: runs,
 		}
-		return sum / float64(runs), nil
-	})
+	}
+	stats, err := o.engine().Measure(pts)
 	if err != nil {
 		return nil, err
 	}
 	for i, n := range sizes {
-		mean := means[i]
+		mean := stats[i].Mean
 		b := bounds.ASPLLowerBound(n, r)
 		obs.X = append(obs.X, float64(n))
 		obs.Y = append(obs.Y, mean)

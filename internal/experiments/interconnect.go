@@ -16,7 +16,7 @@ func crossRatioXs(quick bool) []float64 {
 }
 
 // sweepCrossRatio evaluates one cross-cluster connectivity curve with the
-// server distribution held fixed (one concurrent task per grid point),
+// server distribution held fixed (one scenario point per grid value),
 // normalized to the curve's peak.
 func sweepCrossRatio(o Options, label string, base hetero.Config, xs []float64) (Series, error) {
 	pts, err := sweepHetero(o, xs,
@@ -25,8 +25,7 @@ func sweepCrossRatio(o Options, label string, base hetero.Config, xs []float64) 
 			cfg.CrossRatio = x
 			return cfg
 		},
-		func(x float64) int64 { return labelSeed(label) + int64(x*1000) },
-		func(x float64, err error) error { return fmt.Errorf("%s x=%v: %w", label, x, err) })
+		func(x float64) int64 { return labelSeed(label) + int64(x*1000) })
 	if err != nil {
 		return Series{Label: label}, err
 	}
@@ -150,8 +149,7 @@ func fig7(o Options, id string, portsSmall int, splits [][2]int) (*Figure, error
 				cfg.CrossRatio = x
 				return cfg
 			},
-			func(x float64) int64 { return labelSeed(label) + int64(x*1000) },
-			func(x float64, err error) error { return fmt.Errorf("%s x=%v: %w", label, x, err) })
+			func(x float64) int64 { return labelSeed(label) + int64(x*1000) })
 		if err != nil {
 			return nil, err
 		}

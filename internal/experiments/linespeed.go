@@ -45,8 +45,7 @@ func Fig8a(o Options) (*Figure, error) {
 				cfg.CrossRatio = x
 				return cfg
 			},
-			func(x float64) int64 { return labelSeed(label) + int64(x*1000) },
-			func(x float64, err error) error { return fmt.Errorf("fig8a %s x=%v: %w", label, x, err) })
+			func(x float64) int64 { return labelSeed(label) + int64(x*1000) })
 		if err != nil {
 			return nil, err
 		}
@@ -114,8 +113,7 @@ func fig8bc(o Options, id, title string, settings []struct {
 				cfg.CrossRatio = x
 				return cfg
 			},
-			func(x float64) int64 { return labelSeed(set.label) + int64(x*1000) },
-			func(x float64, err error) error { return fmt.Errorf("%s %s x=%v: %w", id, set.label, x, err) })
+			func(x float64) int64 { return labelSeed(set.label) + int64(x*1000) })
 		if err != nil {
 			return nil, err
 		}

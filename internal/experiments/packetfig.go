@@ -7,8 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcf"
 	"repro/internal/packet"
-	"repro/internal/runner"
-	"repro/internal/topo"
+	"repro/internal/scenario"
 	"repro/internal/traffic"
 )
 
@@ -17,6 +16,11 @@ import (
 // deliberately oversubscribed (ToR count ≈ 1.3× the full-throughput point)
 // so the flow value is close to but below 1, exposing any routing or
 // congestion-control inefficiency, as in §8.2.
+//
+// Each DA becomes two scenario points sharing topology and traffic specs
+// — one mcf-evaluated, one packet-evaluated — whose runs draw identical
+// RNG streams, so the pair measures the same instances. The packet
+// evaluator certifies per-node packet conservation on every simulation.
 //
 // The paper's curve uses DI = 28 with DA from 6 to 18; the quick grid
 // shrinks to DI = 16, DA up to 12 and fewer servers per ToR to bound the
@@ -40,51 +44,36 @@ func Fig13(o Options) (*Figure, error) {
 	}
 	flowS := Series{Label: "Flow-level"}
 	pktS := Series{Label: "Packet-level"}
-	// Flatten (DA, run) so flow solves and packet simulations of all grid
-	// points run concurrently; each task owns an RNG seeded from its point.
-	type point struct{ da, run int }
-	var grid []point
-	for _, da := range das {
-		for run := 0; run < runs; run++ {
-			grid = append(grid, point{da, run})
-		}
-	}
-	type meas struct{ flow, pkt float64 }
-	vals, err := runner.Map(o.pool(), len(grid), func(i int) (meas, error) {
-		p := grid[i]
-		cfg := topo.VL2Config{DA: p.da, DI: di, ServersPerToR: serversPerToR}
+	mkPoint := func(da int, eval scenario.Evaluator) scenario.Point {
+		cfg := scenario.RewiredVL2{DA: da, DI: di, ServersPerToR: serversPerToR}
 		// Size at ~1.3x the designed full-throughput point so λ < 1 and
 		// transport inefficiency is visible.
-		tors := cfg.NumToRs() + cfg.NumToRs()/3
-		if tors < 3 {
-			tors = 3
+		designed := da * di / 4
+		cfg.ToRs = designed + designed/3
+		if cfg.ToRs < 3 {
+			cfg.ToRs = 3
 		}
-		rng := rand.New(rand.NewSource(o.Seed*131 + int64(p.da*100+p.run)))
-		g, err := topo.RewiredVL2(rng, cfg, tors)
-		if err != nil {
-			return meas{}, fmt.Errorf("fig13 DA=%d: %w", p.da, err)
+		return scenario.Point{
+			Topo: &cfg, Traffic: scenario.Permutation{}, Eval: eval,
+			Seed: o.Seed*131 + int64(da*100), SeedFactor: 1,
+			Runs: runs, Epsilon: o.Epsilon,
 		}
-		h := traffic.HostsOf(g)
-		tm := traffic.Permutation(rng, h)
-		res, err := mcf.Solve(g, tm.Flows, mcf.Options{Epsilon: o.Epsilon})
-		if err != nil {
-			return meas{}, err
-		}
-		pr, err := simulatePermutation(g, tm, subflows, warmup, measure, rng)
-		if err != nil {
-			return meas{}, err
-		}
-		return meas{flow: capAtOne(res.Throughput), pkt: capAtOne(pr)}, nil
-	})
+	}
+	var pts []scenario.Point
+	for _, da := range das {
+		pts = append(pts,
+			mkPoint(da, scenario.MCF{}),
+			mkPoint(da, scenario.Packet{Subflows: subflows, Warmup: warmup, Measure: measure}))
+	}
+	vals, err := o.engine().MeasureRuns(pts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fig13: %w", err)
 	}
 	for daIdx, da := range das {
 		var flowSum, pktSum float64
 		for run := 0; run < runs; run++ {
-			v := vals[daIdx*runs+run]
-			flowSum += v.flow
-			pktSum += v.pkt
+			flowSum += capAtOne(vals[2*daIdx][run])
+			pktSum += capAtOne(vals[2*daIdx+1][run])
 		}
 		flowS.X = append(flowS.X, float64(da))
 		flowS.Y = append(flowS.Y, flowSum/float64(runs))

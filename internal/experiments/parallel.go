@@ -1,16 +1,42 @@
 package experiments
 
 import (
-	"errors"
-
 	"repro/internal/hetero"
-	"repro/internal/rrg"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // pool returns the worker pool used for grid-point evaluation, honoring
 // Options.Parallel (0 = GOMAXPROCS, 1 = serial).
 func (o Options) pool() *runner.Pool { return runner.New(o.Parallel) }
+
+// engine returns the scenario engine every figure runner executes on: the
+// runner pool honoring Options.Parallel and the figure's solve cache (see
+// Options.Cache — points sharing instances never re-solve). Infeasible
+// builds are errors here, exactly as the pre-engine runners treated them;
+// sweeps that legitimately skip unrealizable grid points use sweepEngine.
+func (o Options) engine() *scenario.Engine {
+	return &scenario.Engine{Parallel: o.Parallel, Cache: o.Cache}
+}
+
+// sweepEngine is engine with infeasible-point skipping, for the hetero
+// parameter sweeps whose grids intentionally run past the physically
+// realizable region (Fig. 4/6–11).
+func (o Options) sweepEngine() *scenario.Engine {
+	e := o.engine()
+	e.SkipInfeasible = true
+	return e
+}
+
+// evalPoint assembles the scenario point that core.Evaluation historically
+// ran: runs seeded from (seed, run) with the default factor, permutation
+// unless overridden, the figure's ε.
+func (o Options) evalPoint(topo scenario.Topology, tr scenario.Traffic, seedMix int64) scenario.Point {
+	return scenario.Point{
+		Topo: topo, Traffic: tr, Eval: scenario.MCF{},
+		Seed: o.Seed + seedMix, Runs: o.Runs, Epsilon: o.Epsilon,
+	}
+}
 
 // sweepPoint is one evaluated point of a 1-D parameter sweep.
 type sweepPoint struct {
@@ -18,22 +44,24 @@ type sweepPoint struct {
 	ok           bool // false: the point was physically infeasible, skip it
 }
 
-// sweepHetero evaluates a heterogeneous-topology sweep with one concurrent
-// task per grid point, skipping infeasible points. Results come back in
-// grid order, so downstream reduction is byte-identical to a serial run.
-// wrap decorates real errors with the sweep's context.
-func sweepHetero(o Options, xs []float64, cfgAt func(x float64) hetero.Config, seedAt func(x float64) int64, wrap func(x float64, err error) error) ([]sweepPoint, error) {
-	return runner.Map(o.pool(), len(xs), func(i int) (sweepPoint, error) {
-		x := xs[i]
-		mean, std, err := heteroPoint(o, cfgAt(x), seedAt(x))
-		if errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible) {
-			return sweepPoint{}, nil
-		}
-		if err != nil {
-			return sweepPoint{}, wrap(x, err)
-		}
-		return sweepPoint{x: x, mean: mean, std: std, ok: true}, nil
-	})
+// sweepHetero evaluates a heterogeneous-topology sweep on the scenario
+// engine, one point per grid value, skipping infeasible points. Results
+// come back in grid order, so downstream reduction is byte-identical to a
+// serial run.
+func sweepHetero(o Options, xs []float64, cfgAt func(x float64) hetero.Config, seedAt func(x float64) int64) ([]sweepPoint, error) {
+	pts := make([]scenario.Point, len(xs))
+	for i, x := range xs {
+		pts[i] = o.evalPoint(&scenario.Hetero{Cfg: cfgAt(x)}, scenario.Permutation{}, seedAt(x))
+	}
+	stats, err := o.sweepEngine().Measure(pts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sweepPoint, len(xs))
+	for i, st := range stats {
+		out[i] = sweepPoint{x: xs[i], mean: st.Mean, std: st.Std, ok: st.OK}
+	}
+	return out, nil
 }
 
 // collectSeries folds kept sweep points into a Series plus the raw means

@@ -2,13 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/hetero"
-	"repro/internal/rrg"
-	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // serverRatioXs is the Fig. 4 x grid (ratio of servers-at-large-switches
@@ -21,7 +17,7 @@ func serverRatioXs(quick bool) []float64 {
 }
 
 // sweepServerRatio evaluates one Fig. 4 curve: throughput across server
-// placement ratios (one concurrent task per ratio), normalized by the
+// placement ratios (one scenario point per ratio), normalized by the
 // curve's peak. Infeasible ratios are skipped.
 func sweepServerRatio(o Options, label string, base hetero.Config) (Series, error) {
 	pts, err := sweepHetero(o, serverRatioXs(o.Quick),
@@ -31,37 +27,13 @@ func sweepServerRatio(o Options, label string, base hetero.Config) (Series, erro
 			cfg.ServerRatio = x
 			return cfg
 		},
-		func(x float64) int64 { return labelSeed(label) },
-		func(x float64, err error) error { return fmt.Errorf("%s x=%v: %w", label, x, err) })
+		func(x float64) int64 { return labelSeed(label) })
 	if err != nil {
 		return Series{Label: label}, err
 	}
 	s, raw := collectSeries(label, pts)
 	normalizePeak(&s, raw)
 	return s, nil
-}
-
-// heteroPoint measures mean/std throughput of a hetero.Config.
-func heteroPoint(o Options, cfg hetero.Config, seedMix int64) (float64, float64, error) {
-	ev := core.Evaluation{
-		Workload: core.Permutation,
-		Runs:     o.Runs,
-		Seed:     o.Seed + seedMix,
-		Epsilon:  o.Epsilon,
-		Parallel: o.Parallel,
-	}
-	// Build errors are deterministic in cfg, so probe once to separate
-	// infeasible sweep points from real failures.
-	if _, err := hetero.Build(rand.New(rand.NewSource(1)), cfg); err != nil {
-		return 0, 0, err
-	}
-	st, err := ev.Throughput(func(rng *rand.Rand) (*graph.Graph, error) {
-		return hetero.Build(rng, cfg)
-	})
-	if err != nil {
-		return 0, 0, err
-	}
-	return st.Mean, st.Std, nil
 }
 
 // normalizePeak rescales Y (from raw) and Err so the curve's peak is 1.
@@ -198,43 +170,24 @@ func Fig5(o Options) (*Figure, error) {
 	const nSwitches = 40
 	for _, avg := range []float64{6, 8, 10} {
 		label := fmt.Sprintf("Avg port-count %d", int(avg))
-		// One port sequence per average, shared across betas and runs so
-		// the curve isolates the effect of beta.
-		seqRng := rand.New(rand.NewSource(o.Seed*31 + int64(avg)))
 		// Cap the tail at min(2.5·avg, n/2): a port count near n would
 		// demand near-complete connectivity and leave no simple graph
-		// after servers are attached.
+		// after servers are attached. The port sequence itself is drawn
+		// inside the plrrg topology from pseed — one sequence per average,
+		// shared across betas and runs, so the curve isolates beta.
 		kmax := int(2.5 * avg)
 		if kmax > nSwitches/2 {
 			kmax = nSwitches / 2
 		}
-		ports, err := rrg.PowerLawDegrees(seqRng, nSwitches, avg, 2.2, 3, kmax)
-		if err != nil {
-			return nil, err
-		}
-		totalPorts := 0
-		for _, p := range ports {
-			totalPorts += p
-		}
-		servers := int(0.4 * float64(totalPorts))
 		s := Series{Label: label}
-		stats, err := runner.Map(o.pool(), len(betas), func(i int) (core.Stat, error) {
-			beta := betas[i]
-			ev := core.Evaluation{
-				Workload: core.Permutation,
-				Runs:     o.Runs,
-				Seed:     o.Seed + int64(avg*100) + int64(beta*10),
-				Epsilon:  o.Epsilon,
-				Parallel: o.Parallel,
-			}
-			st, err := ev.Throughput(func(rng *rand.Rand) (*graph.Graph, error) {
-				return hetero.BuildPowerLaw(rng, ports, servers, beta)
-			})
-			if err != nil {
-				return core.Stat{}, fmt.Errorf("fig5 avg=%v beta=%v: %w", avg, beta, err)
-			}
-			return st, nil
-		})
+		pts := make([]scenario.Point, len(betas))
+		for i, beta := range betas {
+			pts[i] = o.evalPoint(&scenario.PowerLawRRG{
+				N: nSwitches, Avg: avg, Gamma: 2.2, Kmin: 3, Kmax: kmax,
+				SFrac: 0.4, Beta: beta, PortSeed: o.Seed*31 + int64(avg),
+			}, scenario.Permutation{}, int64(avg*100)+int64(beta*10))
+		}
+		stats, err := o.engine().Measure(pts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,15 +1,8 @@
 package experiments
 
 import (
-	"fmt"
-	"math/rand"
-
-	"repro/internal/graph"
-	"repro/internal/mcf"
 	"repro/internal/rrg"
-	"repro/internal/runner"
-	"repro/internal/spectral"
-	"repro/internal/traffic"
+	"repro/internal/scenario"
 )
 
 // Theorem2Point is one q-value of the §6.2 analysis on the restricted
@@ -24,79 +17,48 @@ type Theorem2Point struct {
 // Theorem2Check instantiates the Theorem 2 setting — n nodes per cluster,
 // degree d, unit capacities, complete bipartite demand K_{V1,V2} — and
 // measures throughput and the sparsest-cut value across cross-cluster
-// budgets. Theorem 2 predicts two regimes: T(q) = Θ(q), tracking the
-// sparsest cut, until q* = Θ(p/⟨D⟩); beyond that a plateau within a
+// budgets. Each budget becomes two scenario points over the same
+// twocluster × bipartite instance streams, one mcf-evaluated and one
+// cut-evaluated. Theorem 2 predicts two regimes: T(q) = Θ(q), tracking
+// the sparsest cut, until q* = Θ(p/⟨D⟩); beyond that a plateau within a
 // constant factor of the peak.
 func Theorem2Check(o Options, nPerCluster, degree int, crossBudgets []int) ([]Theorem2Point, error) {
 	o = o.withDefaults()
-	type point struct {
-		p  Theorem2Point
-		ok bool
-	}
-	pts, err := runner.Map(o.pool(), len(crossBudgets), func(i int) (point, error) {
-		cross := crossBudgets[i]
-		deg := make([]int, nPerCluster)
-		for i := range deg {
-			deg[i] = degree
-		}
+	// Materialize points for the feasible budgets (x > 0) only, mirroring
+	// the historical skip of degenerate zero-cross instances.
+	var kept []int
+	var pts []scenario.Point
+	for _, cross := range crossBudgets {
 		x, err := rrg.FeasibleCross(cross, nPerCluster*degree, nPerCluster*degree)
 		if err != nil {
-			return point{}, err
+			return nil, err
 		}
 		if x == 0 {
-			return point{}, nil
+			continue
 		}
-		var tSum, cutSum float64
-		runs := o.Runs
-		for run := 0; run < runs; run++ {
-			rng := rand.New(rand.NewSource(o.Seed*613 + int64(cross*100+run)))
-			g, err := rrg.TwoCluster(rng, rrg.TwoClusterSpec{
-				DegA: deg, DegB: deg, CrossLinks: x, LinkCap: 1,
-			})
-			if err != nil {
-				return point{}, fmt.Errorf("theorem2 cross=%d: %w", cross, err)
+		mk := func(eval scenario.Evaluator) scenario.Point {
+			return scenario.Point{
+				Topo:    &scenario.TwoCluster{N: nPerCluster, Deg: degree, Cross: x},
+				Traffic: scenario.Bipartite{N1: nPerCluster},
+				Eval:    eval,
+				Seed:    o.Seed*613 + int64(cross*100), SeedFactor: 1,
+				Runs: o.Runs, Epsilon: o.Epsilon,
 			}
-			flows := bipartiteDemand(g, nPerCluster)
-			res, err := mcf.Solve(g, flows, mcf.Options{Epsilon: o.Epsilon})
-			if err != nil {
-				return point{}, err
-			}
-			inV1 := make([]bool, g.N())
-			for i := 0; i < nPerCluster; i++ {
-				inV1[i] = true
-			}
-			tSum += res.Throughput
-			cutSum += spectral.SparsestCutBipartite(g, inV1)
 		}
-		return point{p: Theorem2Point{
-			CrossLinks:  x,
-			Throughput:  tSum / float64(runs),
-			SparsestCut: cutSum / float64(runs),
-		}, ok: true}, nil
-	})
+		kept = append(kept, x)
+		pts = append(pts, mk(scenario.MCF{}), mk(scenario.Cut{N1: nPerCluster}))
+	}
+	stats, err := o.engine().Measure(pts)
 	if err != nil {
 		return nil, err
 	}
-	var out []Theorem2Point
-	for _, p := range pts {
-		if p.ok {
-			out = append(out, p.p)
+	out := make([]Theorem2Point, len(kept))
+	for i, x := range kept {
+		out[i] = Theorem2Point{
+			CrossLinks:  x,
+			Throughput:  stats[2*i].Mean,
+			SparsestCut: stats[2*i+1].Mean,
 		}
 	}
 	return out, nil
-}
-
-// bipartiteDemand builds the K_{V1,V2} demand graph: one unit between every
-// cross-cluster ordered pair.
-func bipartiteDemand(g *graph.Graph, nPerCluster int) []traffic.Flow {
-	var flows []traffic.Flow
-	for u := 0; u < nPerCluster; u++ {
-		for v := nPerCluster; v < g.N(); v++ {
-			flows = append(flows,
-				traffic.Flow{Src: u, Dst: v, Demand: 1},
-				traffic.Flow{Src: v, Dst: u, Demand: 1},
-			)
-		}
-	}
-	return flows
 }

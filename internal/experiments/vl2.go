@@ -2,11 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/topo"
 )
 
@@ -19,72 +18,14 @@ func fullThroughputThreshold(epsilon float64) float64 {
 	return 1 - epsilon - 0.02
 }
 
-// vl2Builder attaches `tors` ToRs to a standard VL2 fabric (round-robin
-// over aggregation pairs), allowing under/oversubscription relative to the
-// designed DA·DI/4.
-func vl2Builder(cfg topo.VL2Config, tors int) core.Builder {
-	return func(rng *rand.Rand) (*graph.Graph, error) {
-		c := cfg
-		return vl2WithToRs(c, tors)
-	}
-}
-
-// vl2WithToRs builds VL2 with an arbitrary ToR count on the same fabric.
-func vl2WithToRs(cfg topo.VL2Config, tors int) (*graph.Graph, error) {
-	full, err := topo.VL2(cfg)
-	if err != nil {
-		return nil, err
-	}
-	designed := cfg.NumToRs()
-	if tors == designed {
-		return full, nil
-	}
-	// Rebuild with the requested ToR count, keeping the agg-core fabric.
-	nAgg, nCore := cfg.NumAggs(), cfg.NumCores()
-	g := graph.New(tors + nAgg + nCore)
-	agg := func(i int) int { return tors + i }
-	core_ := func(i int) int { return tors + nAgg + i }
-	sp := cfg.ServersPerToR
-	if sp == 0 {
-		sp = 20
-	}
-	uc := cfg.UplinkCap
-	if uc == 0 {
-		uc = 10
-	}
-	for t := 0; t < tors; t++ {
-		g.SetClass(t, topo.ClassToR)
-		g.SetServers(t, sp)
-		a1 := (2 * t) % nAgg
-		a2 := (2*t + 1) % nAgg
-		g.AddLink(t, agg(a1), uc)
-		g.AddLink(t, agg(a2), uc)
-	}
-	for i := 0; i < nAgg; i++ {
-		g.SetClass(agg(i), topo.ClassAgg)
-		for j := 0; j < nCore; j++ {
-			g.AddLink(agg(i), core_(j), uc)
-		}
-	}
-	for j := 0; j < nCore; j++ {
-		g.SetClass(core_(j), topo.ClassCore)
-	}
-	return g, nil
-}
-
-// maxToRs runs the §7 binary search: the largest ToR count supported at
-// full throughput by builder(tors) under the workload. "Full throughput"
-// means every server-level flow gets its full fair share: 1 unit for
-// permutation/chunky traffic, 1/(S-1) for all-to-all among S servers.
-func maxToRs(o Options, w core.Workload, chunkyFrac float64, lo, hi int, serversPerToR int, build func(tors int) core.Builder, seedMix int64) (int, error) {
-	ev := core.Evaluation{
-		Workload:       w,
-		ChunkyFraction: chunkyFrac,
-		Runs:           o.Runs,
-		Seed:           o.Seed + seedMix,
-		Epsilon:        o.Epsilon,
-		Parallel:       o.Parallel,
-	}
+// maxToRs runs the §7 binary search on the scenario engine: the largest
+// ToR count supported at full throughput by point(tors) under the
+// workload. "Full throughput" means every server-level flow gets its full
+// fair share: 1 unit for permutation/chunky traffic, 1/(S-1) for
+// all-to-all among S servers. With the process-wide solve cache, probes
+// shared across searches (e.g. the same sizing search under several
+// chunky fractions) solve once.
+func maxToRs(o Options, w core.Workload, lo, hi, serversPerToR int, point func(tors int) scenario.Point) (int, error) {
 	base := fullThroughputThreshold(o.Epsilon)
 	threshold := func(size int) float64 {
 		if w == core.AllToAll {
@@ -95,7 +36,18 @@ func maxToRs(o Options, w core.Workload, chunkyFrac float64, lo, hi int, servers
 		}
 		return base
 	}
-	return ev.MaxAtFullThroughput(lo, hi, threshold, build)
+	return o.engine().MaxAtFull(lo, hi, threshold, point)
+}
+
+// vl2Point and rewiredPoint are the scenario points of the §7 capacity
+// search: the standard VL2 fabric (round-robin ToR uplinks) and the
+// paper's rewiring of the same equipment, sized to an arbitrary ToR count.
+func (o Options) vl2Point(w core.Workload, chunkyFrac float64, da, di, tors int, seedMix int64) scenario.Point {
+	return o.evalPoint(&scenario.VL2{DA: da, DI: di, ToRs: tors}, workloadTraffic(w, chunkyFrac), seedMix)
+}
+
+func (o Options) rewiredPoint(w core.Workload, chunkyFrac float64, da, di, tors int, seedMix int64) scenario.Point {
+	return o.evalPoint(&scenario.RewiredVL2{DA: da, DI: di, ToRs: tors}, workloadTraffic(w, chunkyFrac), seedMix)
 }
 
 // fig12aGrid returns the (DA, DI) grid for Fig. 12a/12c.
@@ -155,17 +107,15 @@ func rewiredOverVL2(o Options, w core.Workload, chunkyFrac float64, da, di int, 
 	cfg := topo.VL2Config{DA: da, DI: di}
 	designed := cfg.NumToRs()
 	hi := designed*2 + 4
-	vl2Max, err := maxToRs(o, w, chunkyFrac, 1, hi, 20, func(tors int) core.Builder {
-		return vl2Builder(cfg, tors)
-	}, seedMix)
+	vl2Max, err := maxToRs(o, w, 1, hi, 20, func(tors int) scenario.Point {
+		return o.vl2Point(w, chunkyFrac, da, di, tors, seedMix)
+	})
 	if err != nil {
 		return 0, err
 	}
-	rewMax, err := maxToRs(o, w, chunkyFrac, 1, hi, 20, func(tors int) core.Builder {
-		return func(rng *rand.Rand) (*graph.Graph, error) {
-			return topo.RewiredVL2(rng, cfg, tors)
-		}
-	}, seedMix+7)
+	rewMax, err := maxToRs(o, w, 1, hi, 20, func(tors int) scenario.Point {
+		return o.rewiredPoint(w, chunkyFrac, da, di, tors, seedMix+7)
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -208,25 +158,20 @@ func Fig12b(o Options) (*Figure, error) {
 	vals, err := runner.Map(o.pool(), len(grid), func(i int) (meas, error) {
 		p := grid[i]
 		cfg := topo.VL2Config{DA: p.da, DI: di}
-		// Size the topology at its permutation-full-throughput point.
-		tors, err := maxToRs(o, core.Permutation, 0, 1, cfg.NumToRs()*2+4, 20, func(t int) core.Builder {
-			return func(rng *rand.Rand) (*graph.Graph, error) {
-				return topo.RewiredVL2(rng, cfg, t)
-			}
-		}, int64(12200+p.da))
+		// Size the topology at its permutation-full-throughput point. The
+		// search's seed mix depends only on DA, so the three chunky
+		// fractions share it — with the solve cache, it runs once.
+		tors, err := maxToRs(o, core.Permutation, 1, cfg.NumToRs()*2+4, 20, func(t int) scenario.Point {
+			return o.rewiredPoint(core.Permutation, 0, p.da, di, t, int64(12200+p.da))
+		})
 		if err != nil {
 			return meas{}, err
 		}
 		if tors < 2 {
 			return meas{}, nil
 		}
-		ev := core.Evaluation{
-			Workload: core.Chunky, ChunkyFraction: p.frac,
-			Runs: o.Runs, Seed: o.Seed + int64(12250+p.da), Epsilon: o.Epsilon, Parallel: o.Parallel,
-		}
-		st, err := ev.Throughput(func(rng *rand.Rand) (*graph.Graph, error) {
-			return topo.RewiredVL2(rng, cfg, tors)
-		})
+		st, err := o.engine().MeasureOne(
+			o.rewiredPoint(core.Chunky, p.frac, p.da, di, tors, int64(12250+p.da)))
 		if err != nil {
 			return meas{}, err
 		}
@@ -234,7 +179,7 @@ func Fig12b(o Options) (*Figure, error) {
 		if y > 1 {
 			y = 1 // full throughput; demands are 1 unit per server
 		}
-		return meas{y: y, std: st.Std, ok: true}, nil
+		return meas{y: y, std: st.Std, ok: st.OK}, nil
 	})
 	if err != nil {
 		return nil, err

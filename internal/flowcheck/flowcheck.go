@@ -30,6 +30,10 @@
 // baselines of internal/routing (ECMP and VLB): per-node conservation of
 // the reported arc loads against the commodity volumes, load sanity, and
 // the reported throughput re-derived from the bottleneck ratio.
+//
+// VerifyPacket certifies the packet simulator's measurement-window output
+// (packet.Audit): exact per-node packet conservation, per-arc line-rate
+// sanity, and goodput/delivered consistency.
 package flowcheck
 
 import (
@@ -39,6 +43,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mcf"
+	"repro/internal/packet"
 	"repro/internal/routing"
 	"repro/internal/traffic"
 )
@@ -271,6 +276,176 @@ func VerifyRouting(g *graph.Graph, flows []traffic.Flow, res *routing.ECMPResult
 	default:
 		r.Checks = append(r.Checks, Check{Name: "throughput", Pass: true,
 			Detail: fmt.Sprintf("λ=%.6g matches bottleneck arc %d", res.Throughput, res.Bottleneck)})
+	}
+	return r, nil
+}
+
+// VerifyPacket certifies a packet simulation's measurement-window
+// accounting (see packet.Audit) from first principles:
+//
+//   - conservation: for every node, injected + arrived-over-incoming-arcs
+//     equals delivered + next-hop-attempts (admissions plus drops) —
+//     exactly, in integers; the simulator cannot teleport, duplicate, or
+//     silently absorb packets.
+//   - line rate: no arc completed more transmissions than its capacity
+//     admits in the window (rate·measure, plus one transmission that may
+//     straddle the window start).
+//   - goodput: every flow's reported goodput equals its delivered count
+//     over the window, per-node delivered totals match the flow sums, and
+//     Delivered/MeanGoodput/MinGoodput are consistent re-aggregations.
+//
+// Violations are reported as failed checks, matching Verify's contract.
+// An error is returned only for structurally unusable input.
+func VerifyPacket(g *graph.Graph, res *packet.Result) error {
+	r, err := VerifyPacketReport(g, res)
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// VerifyPacketReport is VerifyPacket returning the full check report.
+func VerifyPacketReport(g *graph.Graph, res *packet.Result) (*Report, error) {
+	if res == nil {
+		return nil, fmt.Errorf("flowcheck: nil packet result")
+	}
+	r := &Report{Throughput: res.MeanGoodput}
+	if res.Audit == nil {
+		if len(res.Flows) == 0 && res.Delivered == 0 {
+			r.Checks = append(r.Checks, Check{Name: "instance", Pass: true,
+				Detail: "empty simulation; nothing to conserve"})
+			return r, nil
+		}
+		return nil, fmt.Errorf("flowcheck: packet result carries no audit")
+	}
+	a := res.Audit
+	m, n := g.NumArcs(), g.N()
+	if len(a.ArcEnqueued) != m || len(a.ArcDropped) != m || len(a.ArcTransits) != m {
+		return nil, fmt.Errorf("flowcheck: audit arc counters sized %d/%d/%d, graph has %d arcs",
+			len(a.ArcEnqueued), len(a.ArcDropped), len(a.ArcTransits), m)
+	}
+	if len(a.NodeInjected) != n || len(a.NodeDelivered) != n {
+		return nil, fmt.Errorf("flowcheck: audit node counters sized %d/%d, graph has %d nodes",
+			len(a.NodeInjected), len(a.NodeDelivered), n)
+	}
+	if a.Measure <= 0 {
+		return nil, fmt.Errorf("flowcheck: audit measurement window %v", a.Measure)
+	}
+
+	// Counter sanity: event counts are non-negative by construction.
+	negative := -1
+	for i := 0; i < m && negative < 0; i++ {
+		if a.ArcEnqueued[i] < 0 || a.ArcDropped[i] < 0 || a.ArcTransits[i] < 0 {
+			negative = i
+		}
+	}
+	for v := 0; v < n && negative < 0; v++ {
+		if a.NodeInjected[v] < 0 || a.NodeDelivered[v] < 0 {
+			negative = v
+		}
+	}
+	if negative >= 0 {
+		r.Checks = append(r.Checks, Check{Name: "counters",
+			Detail: fmt.Sprintf("negative event count at index %d", negative)})
+		return r, nil
+	}
+	r.Checks = append(r.Checks, Check{Name: "counters", Pass: true,
+		Detail: fmt.Sprintf("%d arc and %d node counters non-negative", m, n)})
+
+	// Exact per-node conservation of the event counts.
+	worst, worstNode := int64(0), -1
+	for v := 0; v < n; v++ {
+		balance := a.NodeInjected[v] - a.NodeDelivered[v]
+		for _, arc := range g.OutArcs(v) {
+			balance -= a.ArcEnqueued[arc] + a.ArcDropped[arc]
+			// The reverse arc of every out-arc points into v.
+			balance += a.ArcTransits[graph.Reverse(int(arc))]
+		}
+		if d := balance; d != 0 {
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst, worstNode = d, v
+			}
+		}
+	}
+	if worstNode >= 0 {
+		r.Checks = append(r.Checks, Check{Name: "conservation",
+			Detail: fmt.Sprintf("node %d imbalanced by %d packets", worstNode, worst)})
+	} else {
+		r.Checks = append(r.Checks, Check{Name: "conservation", Pass: true,
+			Detail: fmt.Sprintf("all %d nodes balance exactly", n)})
+	}
+
+	// Line-rate sanity: an arc of capacity c serializes one packet per 1/c,
+	// so the window admits at most c·measure completions plus one
+	// transmission already in flight when the window opened.
+	rateBad := -1
+	for arc := 0; arc < m; arc++ {
+		limit := g.Arc(arc).Cap*a.Measure*(1+1e-9) + 1
+		if float64(a.ArcTransits[arc]) > limit {
+			rateBad = arc
+			break
+		}
+	}
+	if rateBad >= 0 {
+		r.Checks = append(r.Checks, Check{Name: "linerate",
+			Detail: fmt.Sprintf("arc %d completed %d transmissions, capacity admits %.0f",
+				rateBad, a.ArcTransits[rateBad], g.Arc(rateBad).Cap*a.Measure+1)})
+	} else {
+		r.Checks = append(r.Checks, Check{Name: "linerate", Pass: true,
+			Detail: "no arc outran its capacity"})
+	}
+
+	// Goodput consistency: flow goodputs are delivered/measure; their node
+	// and global sums must match the audit and summary fields.
+	perNode := make([]float64, n)
+	var total, mean, minG float64
+	minG = math.Inf(1)
+	goodputBad := ""
+	for _, f := range res.Flows {
+		if f.Goodput < 0 || math.IsNaN(f.Goodput) || math.IsInf(f.Goodput, 0) {
+			goodputBad = fmt.Sprintf("flow %d->%d reports invalid goodput %v", f.Src, f.Dst, f.Goodput)
+			break
+		}
+		if f.Dst < 0 || f.Dst >= n {
+			goodputBad = fmt.Sprintf("flow destination %d out of range", f.Dst)
+			break
+		}
+		perNode[f.Dst] += f.Goodput * a.Measure
+		total += f.Goodput * a.Measure
+		mean += f.Goodput
+		if f.Goodput < minG {
+			minG = f.Goodput
+		}
+	}
+	const tol = 1e-6
+	if goodputBad == "" {
+		for v := 0; v < n; v++ {
+			if math.Abs(perNode[v]-float64(a.NodeDelivered[v])) > tol*(1+float64(a.NodeDelivered[v])) {
+				goodputBad = fmt.Sprintf("node %d: flow goodputs sum to %.3f delivered packets, audit counted %d",
+					v, perNode[v], a.NodeDelivered[v])
+				break
+			}
+		}
+	}
+	if goodputBad == "" && math.Abs(total-float64(res.Delivered)) > tol*(1+float64(res.Delivered)) {
+		goodputBad = fmt.Sprintf("goodputs sum to %.3f delivered packets, result reports %d", total, res.Delivered)
+	}
+	if goodputBad == "" && len(res.Flows) > 0 {
+		if math.Abs(mean/float64(len(res.Flows))-res.MeanGoodput) > tol*(1+res.MeanGoodput) {
+			goodputBad = fmt.Sprintf("mean goodput %.6g inconsistent with flows (%.6g)",
+				res.MeanGoodput, mean/float64(len(res.Flows)))
+		} else if math.Abs(minG-res.MinGoodput) > tol*(1+res.MinGoodput) {
+			goodputBad = fmt.Sprintf("min goodput %.6g inconsistent with flows (%.6g)", res.MinGoodput, minG)
+		}
+	}
+	if goodputBad != "" {
+		r.Checks = append(r.Checks, Check{Name: "goodput", Detail: goodputBad})
+	} else {
+		r.Checks = append(r.Checks, Check{Name: "goodput", Pass: true,
+			Detail: fmt.Sprintf("%d flow goodputs re-aggregate to the audit counts", len(res.Flows))})
 	}
 	return r, nil
 }

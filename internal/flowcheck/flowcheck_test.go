@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mcf"
+	"repro/internal/packet"
 	"repro/internal/routing"
 	"repro/internal/rrg"
 	"repro/internal/traffic"
@@ -323,5 +324,144 @@ func TestVerifyRoutingDetectsWrongBottleneck(t *testing.T) {
 	}
 	if !strings.Contains(rep.Err().Error(), "throughput") {
 		t.Fatalf("wrong check failed: %v", rep.Err())
+	}
+}
+
+// ---- packet-simulation conservation checks ----
+
+// simulated runs a small packet simulation whose audit the verifier can
+// certify.
+func simulated(t *testing.T) (*graph.Graph, *packet.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	g, err := rrg.Regular(rng, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two flows per source over small queues so the measurement window
+	// contains drop-tail losses — the conservation identity's hardest term.
+	var flows []packet.FlowSpec
+	for i := 0; i < 16; i++ {
+		flows = append(flows,
+			packet.FlowSpec{Src: i, Dst: (i + 7) % 16},
+			packet.FlowSpec{Src: i, Dst: (i + 3) % 16})
+	}
+	res, err := packet.Simulate(g, flows, packet.Config{
+		SubflowsPerFlow: 4, Warmup: 20, Measure: 80, QueuePackets: 8,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res
+}
+
+func TestVerifyPacketPassesOnHonestSimulation(t *testing.T) {
+	g, res := simulated(t)
+	rep, err := VerifyPacketReport(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("honest simulation failed verification:\n%s", rep)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("simulation delivered nothing; conservation check is vacuous")
+	}
+}
+
+func TestVerifyPacketDetectsTeleportedPacket(t *testing.T) {
+	g, res := simulated(t)
+	// A packet delivered out of thin air: delivery count grows with no
+	// matching arrival.
+	res.Audit.NodeDelivered[3]++
+	rep, err := VerifyPacketReport(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || !strings.Contains(rep.Err().Error(), "conservation") {
+		t.Fatalf("teleported packet not caught: %v", rep.Err())
+	}
+}
+
+func TestVerifyPacketDetectsDroppedAccounting(t *testing.T) {
+	g, res := simulated(t)
+	// Erase one drop-tail loss: the node now attempted fewer next hops
+	// than it received packets.
+	erased := false
+	for a := range res.Audit.ArcDropped {
+		if res.Audit.ArcDropped[a] > 0 {
+			res.Audit.ArcDropped[a]--
+			erased = true
+			break
+		}
+	}
+	if !erased {
+		t.Fatal("fixture recorded no measurement-window drops; tamper is vacuous")
+	}
+	rep, err := VerifyPacketReport(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || !strings.Contains(rep.Err().Error(), "conservation") {
+		t.Fatalf("erased drop not caught: %v", rep.Err())
+	}
+}
+
+func TestVerifyPacketDetectsLineRateViolation(t *testing.T) {
+	g, res := simulated(t)
+	// An arc claiming more completed transmissions than its capacity
+	// admits in the window. Forge matching enqueues at the sender and
+	// deliveries at the receiver so plain conservation still balances —
+	// only the line-rate check can see it.
+	arc := 0
+	from, to := g.Arc(arc).From, g.Arc(arc).To
+	extra := int64(g.Arc(arc).Cap*res.Audit.Measure) + 10
+	res.Audit.ArcTransits[arc] += extra
+	res.Audit.ArcEnqueued[arc] += extra
+	res.Audit.NodeInjected[from] += extra
+	res.Audit.NodeDelivered[to] += extra
+	rep, err := VerifyPacketReport(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || !strings.Contains(rep.Err().Error(), "linerate") {
+		t.Fatalf("line-rate violation not caught: %v", rep.Err())
+	}
+}
+
+func TestVerifyPacketDetectsInflatedGoodput(t *testing.T) {
+	g, res := simulated(t)
+	res.Flows[0].Goodput *= 2
+	rep, err := VerifyPacketReport(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || !strings.Contains(rep.Err().Error(), "goodput") {
+		t.Fatalf("inflated goodput not caught: %v", rep.Err())
+	}
+}
+
+func TestVerifyPacketDetectsNegativeCounter(t *testing.T) {
+	g, res := simulated(t)
+	res.Audit.NodeInjected[0] = -1
+	rep, err := VerifyPacketReport(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || !strings.Contains(rep.Err().Error(), "counters") {
+		t.Fatalf("negative counter not caught: %v", rep.Err())
+	}
+}
+
+func TestVerifyPacketShapeMismatch(t *testing.T) {
+	g, res := simulated(t)
+	res.Audit.ArcTransits = res.Audit.ArcTransits[:len(res.Audit.ArcTransits)-1]
+	if _, err := VerifyPacketReport(g, res); err == nil {
+		t.Fatal("arc counter shape mismatch accepted")
+	}
+	_, res2 := simulated(t)
+	res2.Audit = nil
+	if _, err := VerifyPacketReport(g, res2); err == nil {
+		t.Fatal("missing audit accepted for a non-empty simulation")
 	}
 }

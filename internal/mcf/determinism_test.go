@@ -73,29 +73,33 @@ func TestSolverDeterministicAcrossWorkers(t *testing.T) {
 	defer runner.SetMaxInFlight(0)
 
 	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0), 5}
+	// Margin 0 is the historical exact phase-start test; 0.5 exercises the
+	// widened borderline-fresh prebuild — both must be worker-independent.
 	for name, inst := range determinismInstances(t) {
-		var ref *mcf.Result
-		for _, w := range workerCounts {
-			res, err := mcf.Solve(inst.g, inst.flows, mcf.Options{
-				Epsilon: inst.eps, RecordPaths: true, Workers: w,
-			})
-			if err != nil {
-				t.Fatalf("%s workers=%d: %v", name, w, err)
-			}
-			if ref == nil {
-				ref = res
-				if res.TreePrebuilds == 0 {
-					t.Fatalf("%s: prebuild never engaged; the determinism test is vacuous", name)
+		for _, margin := range []float64{0, 0.5} {
+			var ref *mcf.Result
+			for _, w := range workerCounts {
+				res, err := mcf.Solve(inst.g, inst.flows, mcf.Options{
+					Epsilon: inst.eps, RecordPaths: true, Workers: w, PrebuildMargin: margin,
+				})
+				if err != nil {
+					t.Fatalf("%s margin=%v workers=%d: %v", name, margin, w, err)
 				}
-				continue
-			}
-			if got, want := math.Float64bits(res.Throughput), math.Float64bits(ref.Throughput); got != want {
-				t.Fatalf("%s workers=%d: throughput %v differs from workers=%d reference %v",
-					name, w, res.Throughput, workerCounts[0], ref.Throughput)
-			}
-			if !reflect.DeepEqual(res, ref) {
-				t.Fatalf("%s workers=%d: result diverges from workers=%d reference:\n%s",
-					name, w, workerCounts[0], diffResults(ref, res))
+				if ref == nil {
+					ref = res
+					if res.TreePrebuilds == 0 {
+						t.Fatalf("%s margin=%v: prebuild never engaged; the determinism test is vacuous", name, margin)
+					}
+					continue
+				}
+				if got, want := math.Float64bits(res.Throughput), math.Float64bits(ref.Throughput); got != want {
+					t.Fatalf("%s margin=%v workers=%d: throughput %v differs from workers=%d reference %v",
+						name, margin, w, res.Throughput, workerCounts[0], ref.Throughput)
+				}
+				if !reflect.DeepEqual(res, ref) {
+					t.Fatalf("%s margin=%v workers=%d: result diverges from workers=%d reference:\n%s",
+						name, margin, w, workerCounts[0], diffResults(ref, res))
+				}
 			}
 		}
 	}

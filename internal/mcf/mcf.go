@@ -54,6 +54,24 @@ type Options struct {
 	// runner semaphore (runner.SetMaxInFlight), so nested solves cannot
 	// multiply goroutines.
 	Workers int
+	// PrebuildMargin tightens the phase-start staleness test by that
+	// fraction of ε: the concurrent prebuild refreshes every tree whose
+	// worst requested root path has grown past (1 + (1−margin)·ε) of its
+	// at-build length, not just past the full (1+ε) the routing loop
+	// enforces. Borderline-fresh trees — the ones this phase's routing
+	// would push over the threshold after a piece or two — are thereby
+	// refreshed at phase start, in parallel, while their stale region is
+	// still small enough for a cheap incremental repair, instead of
+	// mid-phase, serially, after the region has grown (often past the
+	// repair budget, costing a failed repair plus a rebuild: the
+	// double-build tax on tiny high-ε instances). 0 (the default) keeps
+	// the exact routing test and the historical trajectory; valid values
+	// are [0, 1). Any margin changes only WHEN trees refresh, never the
+	// (1+ε) slack routing tolerates, so the Fleischer guarantee is
+	// untouched; output remains byte-identical across worker counts for
+	// any fixed margin (the margin test is evaluated on the frozen
+	// phase-start lengths).
+	PrebuildMargin float64
 	// DisableBucket forces every tree construction onto the 4-ary heap
 	// Dijkstra instead of letting the solver pick the bucket-queue
 	// traversal when the phase's length spread favors it. The trajectory
@@ -140,6 +158,9 @@ func Solve(g *graph.Graph, flows []traffic.Flow, opt Options) (*Result, error) {
 	}
 	if eps >= 0.5 {
 		return nil, fmt.Errorf("mcf: epsilon %v too large", eps)
+	}
+	if opt.PrebuildMargin < 0 || opt.PrebuildMargin >= 1 {
+		return nil, fmt.Errorf("mcf: prebuild margin %v outside [0, 1)", opt.PrebuildMargin)
 	}
 	if len(flows) == 0 {
 		return &Result{Throughput: math.Inf(1), Stretch: 1}, nil
@@ -249,10 +270,13 @@ type state struct {
 
 	// Phase-start concurrent prebuild (see prebuildTrees): pool bounds the
 	// workers, staleSrcs is the reusable list of sources whose trees the
-	// phase refreshes up front, prebuilds counts those refreshes.
+	// phase refreshes up front, prebuilds counts those refreshes, and
+	// margin (Options.PrebuildMargin) widens the refresh set to
+	// borderline-fresh trees.
 	pool      *runner.Pool
 	staleSrcs []int
 	prebuilds int
+	margin    float64
 
 	// Per-phase traversal choice (see choosePhaseTraversal): phaseDelta is
 	// the bucket width derived from the phase-start length function,
@@ -318,6 +342,7 @@ func newState(g *graph.Graph, flows []traffic.Flow, eps float64, opt Options) *s
 		noRepair:    opt.DisableRepair,
 		noBucket:    opt.DisableBucket,
 		pool:        runner.New(opt.Workers),
+		margin:      opt.PrebuildMargin,
 		recordPaths: opt.RecordPaths,
 		bestBound:   math.Inf(1),
 	}
@@ -533,16 +558,18 @@ func (s *state) refreshTree(t *srcTree, src int, targets []int32) {
 }
 
 // phaseStale reports whether src's tree needs a phase-start refresh: never
-// built, or some requested root path is missing or has outgrown the (1+ε)
-// Fleischer slack under the phase-start lengths. This is exactly the test
-// the routing loop applies before each piece, so the prebuild refreshes
-// only trees whose first piece of the phase would have forced a serial
-// refresh anyway.
+// built, or some requested root path is missing or has outgrown
+// (1 + (1−margin)·ε) of its at-build length under the phase-start lengths.
+// At margin 0 this is exactly the test the routing loop applies before
+// each piece, so the prebuild refreshes only trees whose first piece of
+// the phase would have forced a serial refresh anyway; a positive margin
+// additionally catches borderline-fresh trees before the phase's own
+// routing stales them mid-phase (see Options.PrebuildMargin).
 func (s *state) phaseStale(t *srcTree, src int) bool {
 	if !t.built {
 		return true
 	}
-	onePlusEps := 1 + s.eps
+	onePlusEps := 1 + s.eps*(1-s.margin)
 	for _, j := range s.bySrc[src] {
 		var nowLen, buildLen float64
 		at := s.flows[j].Dst

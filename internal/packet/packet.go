@@ -90,6 +90,34 @@ type Result struct {
 	// measurement window; Dropped counts drop-tail losses over the whole
 	// simulation.
 	Delivered, Dropped int64
+	// Audit is the measurement-window packet accounting that
+	// flowcheck.VerifyPacket certifies (per-node conservation, line-rate
+	// sanity, goodput consistency).
+	Audit *Audit
+}
+
+// Audit is the event-level packet accounting of the measurement window.
+// Each counter is bumped atomically with the event it describes, so the
+// exact per-node conservation identity holds for every node v:
+//
+//	NodeInjected[v] + Σ_{a into v} ArcTransits[a]
+//	  = NodeDelivered[v] + Σ_{a out of v} (ArcEnqueued[a] + ArcDropped[a])
+//
+// — every packet at v either was injected there or arrived over an
+// incoming arc, and either terminated there or attempted the next hop
+// (successfully or as a drop-tail loss). flowcheck.VerifyPacket replays
+// this identity from first principles.
+type Audit struct {
+	// ArcEnqueued counts successful queue admissions per arc; ArcDropped
+	// counts drop-tail losses at that arc's queue; ArcTransits counts
+	// completed transmissions.
+	ArcEnqueued, ArcDropped, ArcTransits []int64
+	// NodeInjected counts packets a source pumped into its first hop
+	// (whether or not admission succeeded); NodeDelivered counts packets
+	// terminating at the node.
+	NodeInjected, NodeDelivered []int64
+	// Measure is the measurement-window duration the counters cover.
+	Measure float64
 }
 
 // Simulate runs the packet simulation of the given flows on g.
@@ -188,10 +216,19 @@ type sim struct {
 	measuring bool
 	dropped   int64
 	delivered int64
+	audit     Audit
 }
 
 func (s *sim) setup(flows []FlowSpec) error {
 	s.arcs = make([]arcState, s.g.NumArcs())
+	s.audit = Audit{
+		ArcEnqueued: make([]int64, s.g.NumArcs()),
+		ArcDropped:  make([]int64, s.g.NumArcs()),
+		ArcTransits: make([]int64, s.g.NumArcs()),
+		NodeInjected:  make([]int64, s.g.N()),
+		NodeDelivered: make([]int64, s.g.N()),
+		Measure:       s.cfg.Measure,
+	}
 	for a := range s.arcs {
 		s.arcs[a].rate = s.g.Arc(a).Cap
 	}
@@ -261,6 +298,9 @@ func (s *sim) pump(sub *subflow) {
 		p := &pkt{sub: sub, id: sub.nextID}
 		sub.nextID++
 		sub.inflight++
+		if s.measuring {
+			s.audit.NodeInjected[sub.flow.spec.Src]++
+		}
 		if !s.tryEnqueue(p, 0) {
 			s.registerLoss(p)
 			return
@@ -284,7 +324,13 @@ func (s *sim) tryEnqueue(p *pkt, hop int) bool {
 	a := int(p.sub.path[hop])
 	as := &s.arcs[a]
 	if len(as.queue) >= s.cfg.QueuePackets {
+		if s.measuring {
+			s.audit.ArcDropped[a]++
+		}
 		return false
+	}
+	if s.measuring {
+		s.audit.ArcEnqueued[a]++
 	}
 	as.queue = append(as.queue, p)
 	if !as.busy {
@@ -304,6 +350,9 @@ func (s *sim) transmitDone(a int) {
 	as := &s.arcs[a]
 	p := as.queue[0]
 	as.queue = as.queue[1:]
+	if s.measuring {
+		s.audit.ArcTransits[a]++
+	}
 	if len(as.queue) > 0 {
 		s.startTransmit(a)
 	} else {
@@ -325,6 +374,7 @@ func (s *sim) onDelivered(p *pkt) {
 	if s.measuring {
 		sub.flow.delivered++
 		s.delivered++
+		s.audit.NodeDelivered[sub.flow.spec.Dst]++
 	}
 	// Additive increase: +1 window per window's worth of ACKs, capped.
 	if sub.cwnd < s.cfg.MaxWindow {
@@ -354,7 +404,8 @@ func (s *sim) registerLoss(p *pkt) {
 }
 
 func (s *sim) collect() *Result {
-	res := &Result{Delivered: s.delivered, Dropped: s.dropped}
+	audit := s.audit
+	res := &Result{Delivered: s.delivered, Dropped: s.dropped, Audit: &audit}
 	res.MinGoodput = -1
 	var sum float64
 	for _, f := range s.flows {

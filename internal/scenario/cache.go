@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"sync"
+)
+
+// Cache is the content-addressed in-memory solve cache. Entries are keyed
+// by the SHA-256 of a Point's Key() — (topology spec, traffic spec,
+// evaluator spec, ε, seed, seed factor, runs) — which under the cache key
+// invariant (see the package comment) fully determines the run values. A
+// hit therefore returns exactly what a cold solve would compute, so
+// enabling the cache can never change results, only skip work; the cache
+// tests enforce reflect.DeepEqual between cached and cold values.
+//
+// The cache is safe for concurrent use. Values are stored and returned as
+// private copies, so callers can neither corrupt an entry nor observe a
+// later mutation.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[[sha256.Size]byte][]float64
+	hits    int64
+	misses  int64
+}
+
+// NewCache returns an empty solve cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[[sha256.Size]byte][]float64{}}
+}
+
+// Default is the process-wide cache shared by the experiment layer: every
+// figure and sweep run through it, so instances shared across figures (or
+// across probes of one adaptive search) solve once per process.
+var Default = NewCache()
+
+// Get returns the run values stored under key, if any.
+func (c *Cache) Get(key string) ([]float64, bool) {
+	h := sha256.Sum256([]byte(key))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vals, ok := c.entries[h]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	return out, true
+}
+
+// Put stores the run values under key.
+func (c *Cache) Put(key string, vals []float64) {
+	h := sha256.Sum256([]byte(key))
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[h] = cp
+}
+
+// Stats reports lookup hits, misses, and resident entries.
+func (c *Cache) Stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[[sha256.Size]byte][]float64{}
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,276 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/hetero"
+	"repro/internal/rrg"
+	"repro/internal/runner"
+)
+
+// DefaultSeedFactor is the historical per-run seed derivation of
+// core.Evaluation: run i of a point draws from Seed*1_000_003 + i.
+const DefaultSeedFactor = 1_000_003
+
+// Point is one fully-specified scenario evaluation: a topology × traffic ×
+// evaluator triple plus run controls. Run i draws its RNG from
+// Seed*SeedFactor + i, builds the topology, generates the traffic, and
+// evaluates — all on that one stream, so a point's results depend only on
+// its specs and seeds, never on scheduling.
+type Point struct {
+	Topo    Topology
+	Traffic Traffic
+	Eval    Evaluator
+	// Seed is the point's base RNG seed.
+	Seed int64
+	// SeedFactor scales Seed in the per-run derivation
+	// rng(i) = NewSource(Seed*SeedFactor + i). 0 means DefaultSeedFactor;
+	// figure runners that historically seeded runs as base+run use 1.
+	SeedFactor int64
+	// Runs is the number of independent runs (0 means 3).
+	Runs int
+	// Epsilon is the flow-solver approximation parameter (0 = solver default).
+	Epsilon float64
+}
+
+func (p Point) runs() int {
+	if p.Runs <= 0 {
+		return 3
+	}
+	return p.Runs
+}
+
+func (p Point) seedFactor() int64 {
+	if p.SeedFactor == 0 {
+		return DefaultSeedFactor
+	}
+	return p.SeedFactor
+}
+
+// Key is the point's content address: every input that determines its
+// result, in a fixed order. Points whose topology has an empty spec are
+// not addressable (ad-hoc closures) and bypass the cache.
+func (p Point) Key() string {
+	var b strings.Builder
+	b.WriteString(p.Topo.Spec())
+	b.WriteByte('|')
+	if p.Traffic != nil {
+		b.WriteString(p.Traffic.Spec())
+	}
+	b.WriteByte('|')
+	b.WriteString(p.Eval.Spec())
+	fmt.Fprintf(&b, "|eps=%g|seed=%d|factor=%d|runs=%d", p.Epsilon, p.Seed, p.seedFactor(), p.runs())
+	return b.String()
+}
+
+// Stat summarizes one point's runs. OK is false when the point was
+// physically infeasible (skipped by a sweep).
+type Stat struct {
+	Mean, Std, Min, Max float64
+	Runs                int
+	OK                  bool
+}
+
+// Engine executes scenario points on the shared runner substrate. The
+// zero value runs at GOMAXPROCS without a cache.
+type Engine struct {
+	// Parallel bounds worker goroutines at every level (points and runs);
+	// 0 means GOMAXPROCS, 1 forces fully serial execution. Output is
+	// byte-identical for any value — every run's RNG derives from
+	// (Seed, SeedFactor, run index) and reductions are serial in index
+	// order.
+	Parallel int
+	// Cache, when non-nil, memoizes per-point run values by content
+	// address, so sweeps and figures sharing instances never re-solve.
+	Cache *Cache
+	// SkipInfeasible treats physically-unrealizable sweep points
+	// (hetero.ErrInfeasiblePoint, rrg.ErrInfeasible) as skipped (nil runs,
+	// Stat.OK=false) instead of failing the whole grid.
+	SkipInfeasible bool
+}
+
+func (e *Engine) pool() *runner.Pool { return runner.New(e.Parallel) }
+
+// infeasible classifies build errors that mark a sweep point as
+// unrealizable rather than broken.
+func infeasible(err error) bool {
+	return errors.Is(err, hetero.ErrInfeasiblePoint) || errors.Is(err, rrg.ErrInfeasible)
+}
+
+// Measure evaluates every point and summarizes its runs. Points run
+// concurrently on the engine's pool, runs concurrently within each point,
+// all bounded by the process-wide runner semaphore.
+func (e *Engine) Measure(pts []Point) ([]Stat, error) {
+	vals, err := e.MeasureRuns(pts)
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]Stat, len(vals))
+	for i, v := range vals {
+		stats[i] = summarize(v)
+	}
+	return stats, nil
+}
+
+// MeasureRuns evaluates every point and returns the raw per-run values in
+// run order. A nil slice marks a point skipped as infeasible. The returned
+// slices may be served from the cache and must be treated as read-only.
+func (e *Engine) MeasureRuns(pts []Point) ([][]float64, error) {
+	return runner.Map(e.pool(), len(pts), func(i int) ([]float64, error) {
+		vals, err := e.runPoint(pts[i])
+		if err != nil {
+			return nil, fmt.Errorf("scenario: point %d (%s): %w", i, pts[i].Key(), err)
+		}
+		return vals, nil
+	})
+}
+
+// MeasureOne evaluates a single point (the adaptive-search building block;
+// with a cache attached, repeated probes of the same point are free).
+func (e *Engine) MeasureOne(p Point) (Stat, error) {
+	stats, err := e.Measure([]Point{p})
+	if err != nil {
+		return Stat{}, err
+	}
+	return stats[0], nil
+}
+
+func (e *Engine) runPoint(p Point) ([]float64, error) {
+	key := ""
+	if p.Topo.Spec() != "" {
+		key = p.Key()
+	}
+	if e.Cache != nil && key != "" {
+		if vals, ok := e.Cache.Get(key); ok {
+			return vals, nil
+		}
+	}
+	vals, err := runner.Map(e.pool(), p.runs(), func(i int) (float64, error) {
+		v, _, err := e.oneRun(p, i, false)
+		return v, err
+	})
+	if err != nil {
+		if e.SkipInfeasible && infeasible(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if e.Cache != nil && key != "" {
+		e.Cache.Put(key, vals)
+	}
+	return vals, nil
+}
+
+// MeasureDetailed evaluates every point keeping each run's full result
+// (requires the evaluator to implement DetailedEvaluator). Details hold
+// graphs and flow results, so they are never cached.
+func (e *Engine) MeasureDetailed(pts []Point) ([][]Detail, error) {
+	return runner.Map(e.pool(), len(pts), func(i int) ([]Detail, error) {
+		p := pts[i]
+		if _, ok := p.Eval.(DetailedEvaluator); !ok {
+			return nil, fmt.Errorf("scenario: evaluator %s has no detailed mode", p.Eval.Spec())
+		}
+		dets, err := runner.Map(e.pool(), p.runs(), func(run int) (Detail, error) {
+			_, d, err := e.oneRun(p, run, true)
+			return d, err
+		})
+		if err != nil {
+			if e.SkipInfeasible && infeasible(err) {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("scenario: point %d (%s): %w", i, p.Key(), err)
+		}
+		return dets, nil
+	})
+}
+
+// oneRun executes run i of a point: one RNG stream through build, traffic,
+// and evaluation.
+func (e *Engine) oneRun(p Point, i int, keep bool) (float64, Detail, error) {
+	rng := rand.New(rand.NewSource(p.Seed*p.seedFactor() + int64(i)))
+	g, err := p.Topo.Build(rng)
+	if err != nil {
+		return 0, Detail{}, fmt.Errorf("build run %d: %w", i, err)
+	}
+	ctx := &EvalContext{G: g, Rng: rng, Epsilon: p.Epsilon}
+	if p.Traffic != nil {
+		ctx.TM, err = p.Traffic.Matrix(rng, g)
+		if err != nil {
+			return 0, Detail{}, err
+		}
+	}
+	if keep {
+		d, err := p.Eval.(DetailedEvaluator).EvaluateDetailed(ctx)
+		return d.Value, d, err
+	}
+	v, err := p.Eval.Evaluate(ctx)
+	return v, Detail{}, err
+}
+
+// MaxAtFull binary-searches the largest size in [lo, hi] whose point still
+// achieves Min ≥ threshold(size) across all runs — the §7 "supported at
+// full throughput" search, generalized to any point family. With a cache
+// attached, re-probing a size (e.g. across workload variants sharing a
+// sizing search) costs nothing.
+func (e *Engine) MaxAtFull(lo, hi int, threshold func(size int) float64, point func(size int) Point) (int, error) {
+	ok := func(size int) (bool, error) {
+		st, err := e.MeasureOne(point(size))
+		if err != nil {
+			return false, err
+		}
+		return st.OK && st.Min >= threshold(size), nil
+	}
+	okLo, err := ok(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !okLo {
+		return lo - 1, nil
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// summarize folds run values into a Stat, reducing in run order (the same
+// arithmetic core.Evaluation used, so refactored figures keep their bytes).
+func summarize(vals []float64) Stat {
+	if vals == nil {
+		return Stat{}
+	}
+	st := Stat{Runs: len(vals), Min: math.Inf(1), Max: math.Inf(-1), OK: true}
+	if len(vals) == 0 {
+		return st
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = sum / float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		ss += (v - st.Mean) * (v - st.Mean)
+	}
+	st.Std = math.Sqrt(ss / float64(len(vals)))
+	return st
+}

@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hetero"
+)
+
+// testPoints is a small mixed grid spanning the registries: RRG × mcf,
+// hetero (with one infeasible sweep point) × mcf, twocluster × cut.
+func testPoints() []Point {
+	mustTopo := func(spec string) Topology {
+		t, err := ParseTopology(spec)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+	return []Point{
+		{Topo: mustTopo("rrg:n=20,deg=6,sps=2"), Traffic: Permutation{}, Eval: MCF{},
+			Seed: 5, Runs: 2, Epsilon: 0.12},
+		{Topo: mustTopo("hetero:nl=6,ns=8,pl=10,ps=6,servers=30,ratio=1"), Traffic: Permutation{}, Eval: MCF{},
+			Seed: 6, Runs: 2, Epsilon: 0.12},
+		// ratio=3 would put 90 of 30 servers at large switches: infeasible.
+		{Topo: mustTopo("hetero:nl=6,ns=8,pl=10,ps=6,servers=30,ratio=3"), Traffic: Permutation{}, Eval: MCF{},
+			Seed: 7, Runs: 2, Epsilon: 0.12},
+		{Topo: mustTopo("twocluster:n=8,deg=4,cross=6"), Traffic: Bipartite{N1: 8}, Eval: Cut{N1: 8},
+			Seed: 8, Runs: 2},
+	}
+}
+
+// TestScenarioDeterministicAcrossWorkers is the engine's mirror of the
+// solver determinism contract: the same grid measured at 1, 2, GOMAXPROCS,
+// and 5 workers — and with or without the cache — must produce
+// reflect.DeepEqual results. Every run's RNG derives from (seed, run) and
+// reductions are serial in index order, so scheduling cannot leak in.
+func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
+	pts := testPoints()
+	var ref [][]float64
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 5} {
+		for _, cache := range []*Cache{nil, NewCache()} {
+			e := &Engine{Parallel: workers, Cache: cache, SkipInfeasible: true}
+			vals, err := e.MeasureRuns(pts)
+			if err != nil {
+				t.Fatalf("workers=%d cache=%v: %v", workers, cache != nil, err)
+			}
+			if vals[2] != nil {
+				t.Fatalf("infeasible point not skipped (workers=%d)", workers)
+			}
+			if ref == nil {
+				ref = vals
+				continue
+			}
+			if !reflect.DeepEqual(vals, ref) {
+				t.Fatalf("workers=%d cache=%v: results differ from serial reference\n got %v\nwant %v",
+					workers, cache != nil, vals, ref)
+			}
+		}
+	}
+}
+
+// TestCacheHitEqualsColdSolve is the cache-key invariant made executable:
+// a cached result is reflect.DeepEqual to a cold solve of the same point,
+// the second measurement actually hits, and a differing spec misses.
+func TestCacheHitEqualsColdSolve(t *testing.T) {
+	pts := testPoints()[:2]
+	cold := &Engine{Parallel: 1, SkipInfeasible: true}
+	coldVals, err := cold.MeasureRuns(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewCache()
+	warm := &Engine{Parallel: 1, Cache: cache, SkipInfeasible: true}
+	first, err := warm.MeasureRuns(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, entries := cacheStats(cache); hits != 0 || misses != 2 || entries != 2 {
+		t.Fatalf("after first pass: hits=%d misses=%d entries=%d", hits, misses, entries)
+	}
+	second, err := warm.MeasureRuns(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _, _ := cacheStats(cache); hits != 2 {
+		t.Fatalf("second pass did not hit the cache")
+	}
+	if !reflect.DeepEqual(first, coldVals) || !reflect.DeepEqual(second, coldVals) {
+		t.Fatalf("cached values differ from cold solve:\n cold %v\n first %v\n second %v", coldVals, first, second)
+	}
+
+	// A changed spec (different ε) must miss.
+	changed := pts[0]
+	changed.Epsilon = 0.2
+	if _, err := warm.MeasureRuns([]Point{changed}); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses, entries := cacheStats(cache); misses != 3 || entries != 3 {
+		t.Fatalf("changed spec did not miss: misses=%d entries=%d", misses, entries)
+	}
+
+	// Returned slices are private copies: mutating one must not poison the
+	// cache.
+	second[0][0] = -1
+	third, err := warm.MeasureRuns(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(third, coldVals) {
+		t.Fatalf("cache entry mutated through a returned slice")
+	}
+}
+
+func cacheStats(c *Cache) (int64, int64, int) {
+	h, m, e := c.Stats()
+	return h, m, e
+}
+
+// TestDetailedMatchesScalar pins the two evaluation paths of the mcf
+// evaluator against each other: the detailed value equals the scalar
+// value, and detailed runs carry usable graphs and results.
+func TestDetailedMatchesScalar(t *testing.T) {
+	pts := testPoints()[:1]
+	e := &Engine{Parallel: 1}
+	vals, err := e.MeasureRuns(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := e.MeasureDetailed(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run, d := range dets[0] {
+		if d.Value != vals[0][run] {
+			t.Fatalf("run %d: detailed value %v != scalar %v", run, d.Value, vals[0][run])
+		}
+		if d.G == nil || d.Res == nil {
+			t.Fatalf("run %d: detailed result incomplete", run)
+		}
+		if d.Res.Throughput != d.Value {
+			t.Fatalf("run %d: result throughput %v != value %v", run, d.Res.Throughput, d.Value)
+		}
+	}
+}
+
+// TestAdHocTopologyBypassesCache: topologies with an empty spec (closures
+// not in the registry) must evaluate but never populate the cache.
+func TestAdHocTopologyBypassesCache(t *testing.T) {
+	cache := NewCache()
+	e := &Engine{Parallel: 1, Cache: cache}
+	pt := Point{Topo: adHoc{}, Traffic: Permutation{}, Eval: MCF{}, Seed: 3, Runs: 1, Epsilon: 0.15}
+	if _, err := e.MeasureRuns([]Point{pt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, entries := cacheStats(cache); entries != 0 {
+		t.Fatalf("ad-hoc topology cached (%d entries)", entries)
+	}
+}
+
+type adHoc struct{}
+
+func (adHoc) Spec() string { return "" }
+
+func (adHoc) Build(rng *rand.Rand) (*graph.Graph, error) {
+	cfg := hetero.Config{NumLarge: 4, NumSmall: 4, PortsLarge: 6, PortsSmall: 6, Servers: 8,
+		ServersPerLarge: -1, ServersPerSmall: -1, ServerRatio: 1}
+	return hetero.Build(rng, cfg)
+}

@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/flowcheck"
+	"repro/internal/graph"
+	"repro/internal/maxflow"
+	"repro/internal/mcf"
+	"repro/internal/packet"
+	"repro/internal/spectral"
+)
+
+// Built-in evaluator registry entries: the paper's throughput metric
+// (mcf), topology-structure metrics (aspl, bisection via maxflow, cut),
+// and the packet-level simulator.
+func init() {
+	RegisterEvaluator("mcf", func(p Params) (Evaluator, error) {
+		return MCF{}, p.Reader().Err()
+	})
+	RegisterEvaluator("aspl", func(p Params) (Evaluator, error) {
+		return ASPL{}, p.Reader().Err()
+	})
+	RegisterEvaluator("bisection", parseBisection)
+	RegisterEvaluator("packet", parsePacket)
+	RegisterEvaluator("cut", parseCut)
+}
+
+// Detail is one run's full flow result, for the decomposition and bound
+// figures that need more than the scalar.
+type Detail struct {
+	Value float64
+	G     *graph.Graph
+	Res   *mcf.Result
+}
+
+// DetailedEvaluator is implemented by evaluators that can also return the
+// full per-run result (currently MCF).
+type DetailedEvaluator interface {
+	Evaluator
+	EvaluateDetailed(ctx *EvalContext) (Detail, error)
+}
+
+// MCF measures λ, the maximum concurrent flow throughput of §3, with the
+// point's ε. Disconnected commodities report zero throughput rather than
+// failing, exactly as the sweeps always treated them.
+type MCF struct{}
+
+func (MCF) Spec() string { return "mcf" }
+
+func (e MCF) Evaluate(ctx *EvalContext) (float64, error) {
+	d, err := e.EvaluateDetailed(ctx)
+	return d.Value, err
+}
+
+func (MCF) EvaluateDetailed(ctx *EvalContext) (Detail, error) {
+	res, err := mcf.Solve(ctx.G, ctx.TM.Flows, mcf.Options{Epsilon: ctx.Epsilon})
+	if errors.Is(err, mcf.ErrUnreachable) {
+		// A disconnected instance (e.g. zero cross-cluster links) has zero
+		// concurrent throughput; report it rather than failing the sweep.
+		return Detail{G: ctx.G, Res: &mcf.Result{
+			ArcFlow: make([]float64, ctx.G.NumArcs()),
+			ArcUtil: make([]float64, ctx.G.NumArcs()),
+		}}, nil
+	}
+	if err != nil {
+		return Detail{}, err
+	}
+	return Detail{Value: res.Throughput, G: ctx.G, Res: res}, nil
+}
+
+// ASPL measures the average shortest path length of the topology (no
+// traffic needed).
+type ASPL struct{}
+
+func (ASPL) Spec() string { return "aspl" }
+
+func (ASPL) Evaluate(ctx *EvalContext) (float64, error) {
+	v, _ := ctx.G.ASPL()
+	return v, nil
+}
+
+// Bisection estimates the bisection bandwidth by sampled balanced min-cuts
+// (maxflow.BisectionBandwidth). Trials are deterministic, so the value is
+// a pure function of the topology.
+type Bisection struct{ Trials int }
+
+func (e Bisection) Spec() string { return FormatSpec("bisection", "trials", IntParam(e.Trials)) }
+
+func (e Bisection) Evaluate(ctx *EvalContext) (float64, error) {
+	return maxflow.BisectionBandwidth(ctx.G, e.Trials), nil
+}
+
+func parseBisection(p Params) (Evaluator, error) {
+	r := p.Reader()
+	e := Bisection{Trials: r.Int("trials", 4)}
+	return e, r.Err()
+}
+
+// Packet runs the discrete-event MPTCP simulator on the workload (demand d
+// expands to d parallel transport flows, matching server granularity) and
+// reports mean per-flow goodput. Every simulation's per-node packet
+// conservation is certified by flowcheck.VerifyPacket before the value is
+// accepted.
+type Packet struct {
+	Subflows        int
+	Warmup, Measure float64
+}
+
+func (e Packet) Spec() string {
+	return FormatSpec("packet",
+		"subflows", IntParam(e.Subflows),
+		"warmup", FloatParam(e.Warmup), "measure", FloatParam(e.Measure))
+}
+
+func (e Packet) Evaluate(ctx *EvalContext) (float64, error) {
+	var specs []packet.FlowSpec
+	for _, f := range ctx.TM.Flows {
+		for k := 0; k < int(f.Demand); k++ {
+			specs = append(specs, packet.FlowSpec{Src: f.Src, Dst: f.Dst})
+		}
+	}
+	res, err := packet.Simulate(ctx.G, specs, packet.Config{
+		SubflowsPerFlow: e.Subflows,
+		Warmup:          e.Warmup,
+		Measure:         e.Measure,
+	}, ctx.Rng)
+	if err != nil {
+		return 0, err
+	}
+	if err := flowcheck.VerifyPacket(ctx.G, res); err != nil {
+		return 0, fmt.Errorf("scenario: packet conservation: %w", err)
+	}
+	return res.MeanGoodput, nil
+}
+
+func parsePacket(p Params) (Evaluator, error) {
+	r := p.Reader()
+	e := Packet{Subflows: r.Int("subflows", 8), Warmup: r.Float("warmup", 60), Measure: r.Float("measure", 240)}
+	return e, r.Err()
+}
+
+// Cut measures the non-uniform sparsest cut for the K_{V1,V2} demand over
+// the (first n1 switches | rest) partition — the Theorem 2 comparison.
+type Cut struct{ N1 int }
+
+func (e Cut) Spec() string { return FormatSpec("cut", "n1", IntParam(e.N1)) }
+
+func (e Cut) Evaluate(ctx *EvalContext) (float64, error) {
+	inV1 := make([]bool, ctx.G.N())
+	for i := 0; i < e.N1 && i < ctx.G.N(); i++ {
+		inV1[i] = true
+	}
+	return spectral.SparsestCutBipartite(ctx.G, inV1), nil
+}
+
+func parseCut(p Params) (Evaluator, error) {
+	r := p.Reader()
+	e := Cut{N1: r.Int("n1", 12)}
+	return e, r.Err()
+}

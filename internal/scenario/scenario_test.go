@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRegistryRoundTrip pins the canonicalization fixed point: parsing a
+// spec and reprinting it yields a spec that parses to an identical
+// scenario and reprints identically (spec → scenario → spec is stable
+// after one canonicalization).
+func TestRegistryRoundTrip(t *testing.T) {
+	cases := []struct {
+		parse func(string) (interface{ Spec() string }, error)
+		specs []string
+	}{
+		{
+			parse: func(s string) (interface{ Spec() string }, error) { return ParseTopology(s) },
+			specs: []string{
+				"rrg",
+				"rrg:n=400,deg=10",
+				"rrg:sps=5,n=40,deg=10", // key order does not matter
+				"plrrg:n=40,avg=8,kmax=16,sfrac=0.4,beta=1.2,pseed=7",
+				"hetero:nl=20,ns=30,pl=30,ps=20,servers=480,ratio=1.3",
+				"vl2:da=8,di=8",
+				"rewired-vl2:da=10,di=16,tors=50",
+				"fattree:k=6",
+				"hypercube:dim=5,sps=2",
+				"torus:a=4,b=6",
+				"jellyfish:n=40,ports=15,deg=10",
+				"twocluster:n=12,deg=6,cross=8",
+			},
+		},
+		{
+			parse: func(s string) (interface{ Spec() string }, error) { return ParseTraffic(s) },
+			specs: []string{
+				"permutation", "all-to-all", "chunky:frac=0.6",
+				"hotspot:frac=0.25", "bipartite:n1=12", "none",
+			},
+		},
+		{
+			parse: func(s string) (interface{ Spec() string }, error) { return ParseEvaluator(s) },
+			specs: []string{
+				"mcf", "aspl", "bisection:trials=8",
+				"packet:subflows=4,warmup=40,measure=160", "cut:n1=12",
+			},
+		},
+	}
+	for _, c := range cases {
+		for _, spec := range c.specs {
+			first, err := c.parse(spec)
+			if err != nil {
+				t.Fatalf("parse %q: %v", spec, err)
+			}
+			canonical := first.Spec()
+			second, err := c.parse(canonical)
+			if err != nil {
+				t.Fatalf("re-parse %q (from %q): %v", canonical, spec, err)
+			}
+			if got := second.Spec(); got != canonical {
+				t.Errorf("spec %q not a canonical fixed point: %q -> %q", spec, canonical, got)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("spec %q: canonical re-parse differs: %+v vs %+v", spec, first, second)
+			}
+		}
+	}
+}
+
+// TestRegistryRejectsUnknown pins the error paths: unknown kinds, unknown
+// parameters, and malformed values must all fail loudly.
+func TestRegistryRejectsUnknown(t *testing.T) {
+	if _, err := ParseTopology("nope:n=4"); err == nil {
+		t.Error("unknown topology kind accepted")
+	}
+	if _, err := ParseTopology("rrg:dge=10"); err == nil || !strings.Contains(err.Error(), "unknown parameter") {
+		t.Errorf("typo parameter not rejected: %v", err)
+	}
+	if _, err := ParseTopology("rrg:n=ten"); err == nil {
+		t.Error("malformed integer accepted")
+	}
+	if _, err := ParseTraffic("chunky:frac=much"); err == nil {
+		t.Error("malformed float accepted")
+	}
+	if _, err := ParseEvaluator("packet:subflows=4,subflows=8"); err == nil {
+		t.Error("duplicate parameter accepted")
+	}
+}
+
+// TestGridPoints pins the declarative grid materialization: axis product,
+// parameter overriding, per-point seed derivation.
+func TestGridPoints(t *testing.T) {
+	g := Grid{
+		Topo:    "rrg:n=20,sps=2",
+		Traffic: "permutation",
+		Eval:    "mcf",
+		Sweep: []Axis{
+			{Target: "topo", Param: "deg", Values: []string{"4", "6"}},
+			{Target: "traffic", Param: "frac", Values: []string{"0.2", "0.8"}},
+		},
+		Runs: 2, Seed: 9,
+	}
+	g.Traffic = "chunky:frac=0.5"
+	pts, err := g.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	wantTopo := []string{"rrg:n=20,deg=4,sps=2", "rrg:n=20,deg=4,sps=2", "rrg:n=20,deg=6,sps=2", "rrg:n=20,deg=6,sps=2"}
+	wantTraffic := []string{"chunky:frac=0.2", "chunky:frac=0.8", "chunky:frac=0.2", "chunky:frac=0.8"}
+	for i, p := range pts {
+		if got := p.Topo.Spec(); got != wantTopo[i] {
+			t.Errorf("point %d topo %q, want %q", i, got, wantTopo[i])
+		}
+		if got := p.Traffic.Spec(); got != wantTraffic[i] {
+			t.Errorf("point %d traffic %q, want %q", i, got, wantTraffic[i])
+		}
+		if p.Seed != 9+int64(i) {
+			t.Errorf("point %d seed %d, want %d", i, p.Seed, 9+int64(i))
+		}
+		if len(p.Coords) != 2 {
+			t.Errorf("point %d coords %v", i, p.Coords)
+		}
+	}
+}
+
+// TestParseGrid pins the -scenario line grammar.
+func TestParseGrid(t *testing.T) {
+	g, err := ParseGrid("topo=rrg:n=400,deg=10 traffic=permutation eval=mcf sweep=deg:4..16:4 runs=5 seed=3 eps=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Topo != "rrg:n=400,deg=10" || g.Traffic != "permutation" || g.Eval != "mcf" {
+		t.Fatalf("specs wrong: %+v", g)
+	}
+	if g.Runs != 5 || g.Seed != 3 || g.Epsilon != 0.1 {
+		t.Fatalf("controls wrong: %+v", g)
+	}
+	if len(g.Sweep) != 1 || !reflect.DeepEqual(g.Sweep[0].Values, []string{"4", "8", "12", "16"}) {
+		t.Fatalf("sweep wrong: %+v", g.Sweep)
+	}
+	if _, err := ParseGrid("traffic=permutation"); err == nil {
+		t.Error("grid without topo accepted")
+	}
+	if _, err := ParseGrid("topo=rrg bogus=1"); err == nil {
+		t.Error("unknown grid key accepted")
+	}
+	if _, err := ParseGrid("topo=rrg sweep=deg:16..4"); err == nil {
+		t.Error("inverted sweep range accepted")
+	}
+	// List sweeps and target prefixes.
+	g, err = ParseGrid("topo=rrg traffic=chunky:frac=1 sweep=traffic.frac:0.2,0.6,1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Sweep[0].Target != "traffic" || g.Sweep[0].Param != "frac" || len(g.Sweep[0].Values) != 3 {
+		t.Fatalf("prefixed sweep wrong: %+v", g.Sweep[0])
+	}
+}

@@ -95,6 +95,45 @@ func VL2(cfg VL2Config) (*graph.Graph, error) {
 	return g, nil
 }
 
+// VL2WithToRs builds VL2 with an arbitrary ToR count on the cfg fabric
+// (round-robin uplinks over aggregation pairs), allowing under- and
+// oversubscription relative to the designed DA·DI/4 — the §7 capacity
+// search probes exactly this family.
+func VL2WithToRs(cfg VL2Config, tors int) (*graph.Graph, error) {
+	cfg = cfg.withDefaults()
+	if tors == cfg.NumToRs() {
+		return VL2(cfg)
+	}
+	if cfg.DA < 2 || cfg.DA%2 != 0 || cfg.DI < 2 {
+		return nil, fmt.Errorf("topo: invalid VL2 config DA=%d DI=%d", cfg.DA, cfg.DI)
+	}
+	if tors < 1 {
+		return nil, fmt.Errorf("topo: tors=%d", tors)
+	}
+	nAgg, nCore := cfg.NumAggs(), cfg.NumCores()
+	g := graph.New(tors + nAgg + nCore)
+	agg := func(i int) int { return tors + i }
+	core := func(i int) int { return tors + nAgg + i }
+	for t := 0; t < tors; t++ {
+		g.SetClass(t, ClassToR)
+		g.SetServers(t, cfg.ServersPerToR)
+		a1 := (2 * t) % nAgg
+		a2 := (2*t + 1) % nAgg
+		g.AddLink(t, agg(a1), cfg.UplinkCap)
+		g.AddLink(t, agg(a2), cfg.UplinkCap)
+	}
+	for i := 0; i < nAgg; i++ {
+		g.SetClass(agg(i), ClassAgg)
+		for j := 0; j < nCore; j++ {
+			g.AddLink(agg(i), core(j), cfg.UplinkCap)
+		}
+	}
+	for j := 0; j < nCore; j++ {
+		g.SetClass(core(j), ClassCore)
+	}
+	return g, nil
+}
+
 // RewiredVL2 builds the paper's improved topology (§7) from the same
 // equipment pool as VL2(cfg) but hosting numToRs ToRs: ToR uplinks are
 // spread across aggregation and core switches in proportion to switch
