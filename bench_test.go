@@ -17,6 +17,7 @@ import (
 	"repro/internal/rrg"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/store"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -159,6 +160,47 @@ func BenchmarkScenarioCache(b *testing.B) {
 			if _, _, err := grid.Run(e); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// Ablation: the persistent result store's cross-process restart win on
+// the same sweep. "cold" is a fresh process over an empty store dir
+// (solve + persist), "warm" is a restarted process — fresh cache, fresh
+// store handle — over a primed dir, answering every point from disk.
+func BenchmarkStoreColdWarm(b *testing.B) {
+	grid, err := scenario.ParseGrid("topo=rrg:n=40,sps=5 traffic=permutation eval=mcf sweep=deg:6..14:4 runs=2 eps=0.12 seed=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	runGrid := func(dir string) {
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := scenario.NewCache()
+		cache.SetBackend(st)
+		e := &scenario.Engine{Parallel: 1, Cache: cache}
+		if _, _, err := grid.Run(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			runGrid(dir)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		runGrid(dir)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runGrid(dir)
 		}
 	})
 }

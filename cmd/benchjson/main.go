@@ -10,8 +10,9 @@
 // The snapshot covers the flow solver (scale, epsilon, repair-vs-rebuild,
 // prebuild staleness-margin, and phase-parallel worker-scaling ablations),
 // the scenario engine's solve cache (cold vs warm repeated-instance
-// sweep), the bisection-bandwidth estimator, and two representative
-// figure runners in quick mode (one grid-heavy, one
+// sweep), the persistent result store (cold process vs warm restart over
+// a primed store directory), the bisection-bandwidth estimator, and two
+// representative figure runners in quick mode (one grid-heavy, one
 // decomposition-heavy).
 //
 // With -baseline, the fresh snapshot is compared entry-by-entry against a
@@ -39,6 +40,7 @@ import (
 	"repro/internal/rrg"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/store"
 	"repro/internal/traffic"
 )
 
@@ -119,6 +121,12 @@ func main() {
 		mode := mode
 		add("ScenarioCache/"+mode, func(b *testing.B) {
 			benchScenarioCache(b, mode == "warm")
+		})
+	}
+	for _, mode := range []string{"cold", "warm"} {
+		mode := mode
+		add("StoreColdWarm/"+mode, func(b *testing.B) {
+			benchStoreColdWarm(b, mode == "warm")
 		})
 	}
 	for _, w := range []int{1, 2, 4} {
@@ -293,6 +301,56 @@ func benchScenarioCache(b *testing.B, warm bool) {
 		if _, _, err := grid.Run(e); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchStoreColdWarm measures the persistent store's cross-process
+// restart win on the ScenarioCache sweep: "cold" is a fresh process with
+// an empty store (solve everything, write entries), "warm" is a fresh
+// process — new Cache, new store handle — over a primed store directory
+// (answer everything from disk). The warm/cold ratio is the PR 5
+// acceptance number.
+func benchStoreColdWarm(b *testing.B, warm bool) {
+	grid, err := scenario.ParseGrid("topo=rrg:n=40,sps=5 traffic=permutation eval=mcf sweep=deg:6..14:4 runs=2 eps=0.12 seed=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	runGrid := func(dir string) {
+		st, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := scenario.NewCache()
+		cache.SetBackend(st)
+		e := &scenario.Engine{Parallel: 1, Cache: cache}
+		if _, _, err := grid.Run(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if warm {
+		dir, err := os.MkdirTemp("", "storebench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		runGrid(dir) // prime the store
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runGrid(dir) // fresh cache + fresh handle: a restarted process
+		}
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp("", "storebench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		runGrid(dir)
+		b.StopTimer()
+		os.RemoveAll(dir)
+		b.StartTimer()
 	}
 }
 

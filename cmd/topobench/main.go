@@ -1,5 +1,5 @@
-// Command topobench regenerates the paper's figures and runs arbitrary
-// topology-evaluation scenarios.
+// Command topobench regenerates the paper's figures, runs arbitrary
+// topology-evaluation scenarios, and serves them over HTTP.
 //
 // Usage:
 //
@@ -7,7 +7,18 @@
 //	topobench -list
 //	topobench -all -quick -o results/
 //	topobench -scenario "topo=rrg:n=400,deg=10 traffic=permutation eval=mcf sweep=deg:4..16"
+//	topobench -scenario "..." -json -cache-dir ~/.cache/topobench
 //	topobench -scenario-list
+//	topobench serve -addr :8080 -cache-dir /var/lib/topobench [-jobs 8] [-store-max-bytes 1e9]
+//
+// With -cache-dir, the content-addressed solve cache is tiered onto a
+// persistent result store (internal/store): results computed by ANY
+// earlier process with the same cache dir are reused instead of
+// re-solved, and cache + store statistics are printed at exit. The serve
+// subcommand exposes the same engine as a long-running JSON service (see
+// internal/service for the API); -json prints a -scenario grid in the
+// service's canonical response encoding, so batch and served results can
+// be compared byte-for-byte.
 //
 // The -scenario mode executes a declarative grid over the scenario
 // registries (see internal/scenario for the spec grammar): any registered
@@ -37,9 +48,15 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	var (
 		fig      = flag.String("fig", "", "figure ID to regenerate (e.g. 1a, 6c, 12a)")
 		all      = flag.Bool("all", false, "regenerate every figure")
@@ -53,6 +70,8 @@ func main() {
 		parallel = flag.Bool("parallel", true, "evaluate grid points and runs concurrently (output is byte-identical to serial)")
 		workers  = flag.Int("workers", 0, "worker count with -parallel (0 = GOMAXPROCS)")
 		out      = flag.String("o", "", "output file (or directory with -all); default stdout")
+		cacheDir = flag.String("cache-dir", "", "tier the solve cache onto a persistent result store in this directory")
+		jsonOut  = flag.Bool("json", false, "with -scenario: emit the service's canonical JSON response instead of TSV")
 	)
 	flag.Parse()
 
@@ -85,6 +104,18 @@ func main() {
 	// Bound TOTAL in-flight work (across nested grid/run/simulation
 	// parallelism) to the requested worker count, not just each level.
 	runner.SetMaxInFlight(par)
+	// With -cache-dir, the shared solve cache persists beneath this and
+	// every future invocation: an unusable dir must fail loudly here, not
+	// silently degrade to re-solving everything.
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		st, err = store.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		scenario.Default.SetBackend(st)
+	}
 	// Share one solve cache across everything this invocation runs, so
 	// figures (and -all batches) reusing instances never re-solve.
 	opts := experiments.Options{Runs: *runs, Seed: *seed, Epsilon: *eps, Quick: *quick, Parallel: par,
@@ -92,7 +123,7 @@ func main() {
 
 	switch {
 	case *scen != "":
-		if err := runScenario(*scen, *runs, *seed, *eps, par, *out); err != nil {
+		if err := runScenario(*scen, *runs, *seed, *eps, par, *out, *jsonOut); err != nil {
 			fatal(err)
 		}
 	case *all:
@@ -116,24 +147,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if st != nil {
+		printCacheStats(scenario.Default, st)
+	}
 }
 
 // runScenario parses and executes one -scenario grid. Flag values apply as
 // defaults; runs/seed/eps inside the grid line win.
-func runScenario(line string, runs int, seed int64, eps float64, par int, outPath string) error {
-	grid, err := scenario.ParseGrid(line)
-	if err != nil {
-		return err
-	}
-	if grid.Runs == 0 {
-		grid.Runs = runs
-	}
-	if grid.Seed == 0 {
-		grid.Seed = seed
-	}
-	if grid.Epsilon == 0 {
-		grid.Epsilon = eps
-	}
+func runScenario(line string, runs int, seed int64, eps float64, par int, outPath string, jsonOut bool) error {
 	eng := &scenario.Engine{Parallel: par, Cache: scenario.Default, SkipInfeasible: true}
 	start := time.Now()
 	w := os.Stdout
@@ -145,12 +166,47 @@ func runScenario(line string, runs int, seed int64, eps float64, par int, outPat
 		defer f.Close()
 		w = f
 	}
-	if err := grid.WriteTSV(eng, w); err != nil {
-		return err
+	if jsonOut {
+		// The service's evaluation path and canonical encoding: the emitted
+		// bytes equal a `topobench serve` response for the same grid.
+		resp, err := service.EvalGrid(eng, line, service.Defaults{Runs: runs, Seed: seed, Epsilon: eps})
+		if err != nil {
+			return err
+		}
+		body, err := resp.MarshalCanonical()
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	} else {
+		grid, err := scenario.ParseGrid(line)
+		if err != nil {
+			return err
+		}
+		if grid.Runs == 0 {
+			grid.Runs = runs
+		}
+		if grid.Seed == 0 {
+			grid.Seed = seed
+		}
+		if grid.Seed == 0 {
+			// Match service.EvalGrid's normalization exactly: a zero seed
+			// (even an explicit -seed 0) runs as 1, so the TSV and -json
+			// paths address the same cache entries and draw the same streams.
+			grid.Seed = 1
+		}
+		if grid.Epsilon == 0 {
+			grid.Epsilon = eps
+		}
+		if err := grid.WriteTSV(eng, w); err != nil {
+			return err
+		}
 	}
-	hits, misses, _ := scenario.Default.Stats()
-	fmt.Fprintf(os.Stderr, "scenario done in %v (cache: %d hits, %d misses)\n",
-		time.Since(start).Round(time.Millisecond), hits, misses)
+	cs := scenario.Default.Stats()
+	fmt.Fprintf(os.Stderr, "scenario done in %v (cache: %d hits, %d store hits, %d misses)\n",
+		time.Since(start).Round(time.Millisecond), cs.Hits, cs.StoreHits, cs.Misses)
 	return nil
 }
 

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// runServe is the `topobench serve` subcommand: the scenario engine as a
+// long-running HTTP service (see internal/service for the API). With
+// -cache-dir, results persist across restarts — a warm daemon answers
+// previously-solved grids from disk without solving anything.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("topobench serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		cacheDir = fs.String("cache-dir", "", "persistent result-store directory (empty: memory-only)")
+		workers  = fs.Int("workers", 0, "bound on total in-flight evaluation work (0 = GOMAXPROCS)")
+		jobs     = fs.Int("jobs", 0, "max eval requests in flight before 429 backpressure (0 = 2*GOMAXPROCS)")
+		maxBytes = fs.Int64("store-max-bytes", 0, "LRU-prune the store to this byte budget after each eval (0 = unbounded)")
+	)
+	fs.Parse(args)
+
+	runner.SetMaxInFlight(*workers)
+	cache := scenario.NewCache()
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		st, err = store.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		cache.SetBackend(st)
+	}
+	eng := &scenario.Engine{Parallel: *workers, Cache: cache, SkipInfeasible: true}
+	svc := service.New(service.Config{
+		Engine: eng, Cache: cache, Store: st,
+		MaxJobs: *jobs, StoreMaxBytes: *maxBytes,
+	})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, drain in-flight
+	// requests (bounded), then report what the process served.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			srv.Close()
+		}
+	}()
+
+	if st != nil {
+		ss := st.Stats()
+		fmt.Fprintf(os.Stderr, "topobench serve: store %s holds %d entries (%d bytes)\n",
+			*cacheDir, ss.Entries, ss.Bytes)
+	}
+	fmt.Fprintf(os.Stderr, "topobench serve: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	<-drained
+	printCacheStats(cache, st)
+}
+
+// printCacheStats reports the tiered cache and store activity — the
+// batch-mode exit summary and the server's shutdown summary.
+func printCacheStats(c *scenario.Cache, st *store.Store) {
+	cs := c.Stats()
+	fmt.Fprintf(os.Stderr, "cache: %d hits, %d store hits, %d misses, %d entries",
+		cs.Hits, cs.StoreHits, cs.Misses, cs.Entries)
+	if cs.StoreErrs > 0 {
+		fmt.Fprintf(os.Stderr, ", %d STORE ERRORS", cs.StoreErrs)
+	}
+	fmt.Fprintln(os.Stderr)
+	if st != nil {
+		ss := st.Stats()
+		fmt.Fprintf(os.Stderr, "store: %d entries, %d bytes (%d hits, %d misses, %d writes, %d corrupt, %d evicted)\n",
+			ss.Entries, ss.Bytes, ss.Hits, ss.Misses, ss.Writes, ss.Corrupt, ss.Evicted)
+	}
+}

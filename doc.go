@@ -28,6 +28,35 @@
 // internal/scenario package comment for the spec grammar, the cache key
 // invariant, and how to register new kinds.
 //
+// # Persistent result store and evaluation service
+//
+// The solve cache's content addresses are stable across processes, so
+// internal/store persists them: a disk-backed tier beneath
+// scenario.Cache keyed on the hex SHA-256 of the point key, with a
+// versioned checksummed binary codec, atomic temp-file-plus-rename
+// publication, 256-way sharded directories, an open-time index, and
+// LRU/byte-budget pruning (Prune). The durability clause of the
+// cache-key invariant: a stored entry is exactly what a cold solve of
+// its key computes, and anything that could violate that — truncation,
+// bit rot, a foreign codec version (bump store.CodecVersion whenever
+// result encoding changes) — decodes as a miss and is re-solved, never
+// served. `topobench -cache-dir` tiers the shared cache onto a store for
+// batch runs (printing cache + store statistics at exit); a restarted
+// process then answers previously-solved grids ~2000× faster,
+// byte-identically (StoreColdWarm in the bench snapshot, golden tests
+// pinned with the store enabled).
+//
+// internal/service wraps the engine and tiered cache in an HTTP JSON
+// API — `topobench serve`: POST /v1/eval evaluates a declarative grid
+// line (identical concurrent requests deduplicated in flight, a bounded
+// job queue answering 429 under overload), GET /v1/result/<key> returns
+// one stored result by content address, /v1/scenarios lists the
+// registries, and /healthz + /metrics expose liveness and
+// cache/store/request counters. Responses are canonically marshaled: a
+// warm replay — same process or a restart over the same cache dir — is
+// byte-identical to the cold response, and `topobench -scenario -json`
+// emits the same bytes from the command line.
+//
 // # Performance architecture
 //
 // Every figure of the evaluation bottoms out in mcf.Solve, the

@@ -7,6 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/store"
 )
 
 // Golden regression tests pin the quick-mode output of representative
@@ -64,6 +67,49 @@ func goldenFigure(t *testing.T, id string) {
 
 func TestGoldenFig2a(t *testing.T) { goldenFigure(t, "2a") }
 func TestGoldenFig9a(t *testing.T) { goldenFigure(t, "9a") }
+
+// TestGoldenFig2aWithStore pins the store's can-never-change-results
+// contract against the golden files: the same figure run with the solve
+// cache tiered onto a disk store — cold, then again from a fresh handle
+// answering out of that store — must match the committed golden bytes
+// exactly. (No -update here: the plain TestGoldenFig2a owns the file;
+// a store-enabled run that drifts from it is a store bug.)
+func TestGoldenFig2aWithStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow-solver experiment; skipped in -short")
+	}
+	dir := t.TempDir()
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "fig2a_quick.tsv"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	for _, pass := range []string{"cold", "warm-restart"} {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := scenario.NewCache()
+		cache.SetBackend(st)
+		opts := goldenOpts()
+		opts.Cache = cache
+		fig, err := Registry["2a"](opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fig.TSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("%s store-backed output differs from golden bytes", pass)
+		}
+		if pass == "warm-restart" {
+			if cs := cache.Stats(); cs.StoreHits == 0 {
+				t.Fatalf("warm restart did not answer from the store: %+v", cs)
+			}
+		}
+	}
+}
 
 func TestGoldenTheorem2Check(t *testing.T) {
 	if testing.Short() {

@@ -5,71 +5,149 @@ import (
 	"sync"
 )
 
-// Cache is the content-addressed in-memory solve cache. Entries are keyed
-// by the SHA-256 of a Point's Key() — (topology spec, traffic spec,
-// evaluator spec, ε, seed, seed factor, runs) — which under the cache key
-// invariant (see the package comment) fully determines the run values. A
-// hit therefore returns exactly what a cold solve would compute, so
-// enabling the cache can never change results, only skip work; the cache
-// tests enforce reflect.DeepEqual between cached and cold values.
+// Backend is an optional second, durable tier beneath the in-memory
+// cache — in practice internal/store's disk-backed result store, but any
+// key-value layer honoring the contract plugs in. Load returns the values
+// stored under a point key (false on any miss, including corruption —
+// a backend must never surface wrong data, only absence); Save publishes
+// them. Both must be safe for concurrent use. Under the cache key
+// invariant, whatever a backend returns for a key is exactly what a cold
+// solve of that key would compute, so tiering changes latency, never
+// results.
+type Backend interface {
+	Load(key string) ([]float64, bool)
+	Save(key string, vals []float64) error
+}
+
+// Cache is the content-addressed solve cache. Entries are keyed by the
+// SHA-256 of a Point's Key() — (topology spec, traffic spec, evaluator
+// spec, ε, seed, seed factor, runs) — which under the cache key invariant
+// (see the package comment) fully determines the run values. A hit
+// therefore returns exactly what a cold solve would compute, so enabling
+// the cache can never change results, only skip work; the cache tests
+// enforce reflect.DeepEqual between cached and cold values.
+//
+// Lookup is tiered: the in-memory map first, then the optional Backend
+// (a disk store persisting results across processes). A backend hit is
+// promoted into memory; a put writes through to both tiers. Backend save
+// errors (disk full, torn permissions) are counted, not raised — the
+// solve already has its value, durability is best-effort.
 //
 // The cache is safe for concurrent use. Values are stored and returned as
 // private copies, so callers can neither corrupt an entry nor observe a
 // later mutation.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[[sha256.Size]byte][]float64
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	entries   map[[sha256.Size]byte][]float64
+	backend   Backend
+	hits      int64
+	misses    int64
+	storeHits int64
+	storeErrs int64
 }
 
-// NewCache returns an empty solve cache.
+// CacheStats snapshots a cache's lookup counters: Hits served from
+// memory, StoreHits served from the backend (and promoted), Misses served
+// from neither; StoreErrs counts backend save failures, Entries the
+// resident in-memory entries.
+type CacheStats struct {
+	Hits, Misses         int64
+	StoreHits, StoreErrs int64
+	Entries              int
+}
+
+// NewCache returns an empty in-memory solve cache.
 func NewCache() *Cache {
 	return &Cache{entries: map[[sha256.Size]byte][]float64{}}
 }
 
 // Default is the process-wide cache shared by the experiment layer: every
 // figure and sweep run through it, so instances shared across figures (or
-// across probes of one adaptive search) solve once per process.
+// across probes of one adaptive search) solve once per process. topobench
+// attaches a disk store beneath it when -cache-dir is set, making "once
+// per process" into "once, ever".
 var Default = NewCache()
 
-// Get returns the run values stored under key, if any.
+// SetBackend attaches (or, with nil, detaches) the durable tier. Safe to
+// call concurrently with lookups; typically wired once at startup.
+func (c *Cache) SetBackend(b Backend) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backend = b
+}
+
+// Get returns the run values stored under key, if any — from memory, or
+// failing that from the backend (promoting the entry into memory).
 func (c *Cache) Get(key string) ([]float64, bool) {
 	h := sha256.Sum256([]byte(key))
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	vals, ok := c.entries[h]
-	if !ok {
-		c.misses++
-		return nil, false
+	backend := c.backend
+	if ok {
+		c.hits++
+		out := make([]float64, len(vals))
+		copy(out, vals)
+		c.mu.Unlock()
+		return out, true
 	}
-	c.hits++
-	out := make([]float64, len(vals))
-	copy(out, vals)
-	return out, true
+	c.mu.Unlock()
+
+	if backend != nil {
+		// The backend read happens outside the cache lock: disk latency must
+		// not serialize unrelated lookups.
+		if vals, ok := backend.Load(key); ok {
+			cp := make([]float64, len(vals))
+			copy(cp, vals)
+			c.mu.Lock()
+			c.entries[h] = cp
+			c.storeHits++
+			c.mu.Unlock()
+			out := make([]float64, len(vals))
+			copy(out, vals)
+			return out, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
 }
 
-// Put stores the run values under key.
+// Put stores the run values under key, writing through to the backend
+// when one is attached.
 func (c *Cache) Put(key string, vals []float64) {
 	h := sha256.Sum256([]byte(key))
 	cp := make([]float64, len(vals))
 	copy(cp, vals)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.entries[h] = cp
+	backend := c.backend
+	c.mu.Unlock()
+	if backend != nil {
+		if err := backend.Save(key, vals); err != nil {
+			c.mu.Lock()
+			c.storeErrs++
+			c.mu.Unlock()
+		}
+	}
 }
 
-// Stats reports lookup hits, misses, and resident entries.
-func (c *Cache) Stats() (hits, misses int64, entries int) {
+// Stats reports the cache's lookup counters and resident entries.
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.entries)
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		StoreHits: c.storeHits, StoreErrs: c.storeErrs,
+		Entries: len(c.entries),
+	}
 }
 
-// Reset drops every entry and zeroes the counters.
+// Reset drops every in-memory entry and zeroes the counters. The backend,
+// if any, keeps its entries — durable state outlives process resets.
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = map[[sha256.Size]byte][]float64{}
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.storeHits, c.storeErrs = 0, 0, 0, 0
 }

@@ -246,6 +246,11 @@ func (e *Engine) MaxAtFull(lo, hi int, threshold func(size int) float64, point f
 	return lo, nil
 }
 
+// Summarize folds raw run values (as returned by MeasureRuns) into a
+// Stat — the hook for layers that need both the values and the summary,
+// like the evaluation service.
+func Summarize(vals []float64) Stat { return summarize(vals) }
+
 // summarize folds run values into a Stat, reducing in run order (the same
 // arithmetic core.Evaluation used, so refactored figures keep their bytes).
 func summarize(vals []float64) Stat {

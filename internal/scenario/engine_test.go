@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/hetero"
+	"repro/internal/store"
 )
 
 // testPoints is a small mixed grid spanning the registries: RRG × mcf,
@@ -33,20 +34,45 @@ func testPoints() []Point {
 	}
 }
 
+// storeBacked returns a cache tiered onto a fresh disk store in a temp
+// dir — the configuration topobench -cache-dir wires up.
+func storeBacked(t *testing.T, dir string) *Cache {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	c.SetBackend(st)
+	return c
+}
+
 // TestScenarioDeterministicAcrossWorkers is the engine's mirror of the
 // solver determinism contract: the same grid measured at 1, 2, GOMAXPROCS,
-// and 5 workers — and with or without the cache — must produce
-// reflect.DeepEqual results. Every run's RNG derives from (seed, run) and
-// reductions are serial in index order, so scheduling cannot leak in.
+// and 5 workers — and with no cache, the in-memory cache, or the
+// store-backed tiered cache — must produce reflect.DeepEqual results.
+// Every run's RNG derives from (seed, run) and reductions are serial in
+// index order, so scheduling cannot leak in; the cache tiers only ever
+// return what a cold solve would.
 func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
 	pts := testPoints()
+	storeDir := t.TempDir()
 	var ref [][]float64
 	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 5} {
-		for _, cache := range []*Cache{nil, NewCache()} {
+		for _, mode := range []string{"nocache", "memory", "store"} {
+			var cache *Cache
+			switch mode {
+			case "memory":
+				cache = NewCache()
+			case "store":
+				// A fresh handle on a shared dir each time: later iterations
+				// answer from entries persisted by earlier ones.
+				cache = storeBacked(t, storeDir)
+			}
 			e := &Engine{Parallel: workers, Cache: cache, SkipInfeasible: true}
 			vals, err := e.MeasureRuns(pts)
 			if err != nil {
-				t.Fatalf("workers=%d cache=%v: %v", workers, cache != nil, err)
+				t.Fatalf("workers=%d cache=%s: %v", workers, mode, err)
 			}
 			if vals[2] != nil {
 				t.Fatalf("infeasible point not skipped (workers=%d)", workers)
@@ -56,10 +82,62 @@ func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
 				continue
 			}
 			if !reflect.DeepEqual(vals, ref) {
-				t.Fatalf("workers=%d cache=%v: results differ from serial reference\n got %v\nwant %v",
-					workers, cache != nil, vals, ref)
+				t.Fatalf("workers=%d cache=%s: results differ from serial reference\n got %v\nwant %v",
+					workers, mode, vals, ref)
 			}
 		}
+	}
+}
+
+// TestStoreWarmRestartEqualsColdSolve is the durability clause of the
+// cache-key invariant: a second "process" (fresh Cache, fresh store
+// handle on the same dir) answers entirely from the store, with values
+// reflect.DeepEqual to a cold solve, and without re-solving.
+func TestStoreWarmRestartEqualsColdSolve(t *testing.T) {
+	pts := testPoints()[:2]
+	dir := t.TempDir()
+
+	cold := &Engine{Parallel: 1, SkipInfeasible: true}
+	coldVals, err := cold.MeasureRuns(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := storeBacked(t, dir)
+	firstVals, err := (&Engine{Parallel: 1, Cache: first, SkipInfeasible: true}).MeasureRuns(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := first.Stats(); st.Misses != 2 || st.StoreErrs != 0 {
+		t.Fatalf("first process stats: %+v", st)
+	}
+
+	second := storeBacked(t, dir) // restart: empty memory, warm disk
+	secondVals, err := (&Engine{Parallel: 1, Cache: second, SkipInfeasible: true}).MeasureRuns(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := second.Stats()
+	if st.StoreHits != 2 || st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("second process did not answer from the store: %+v", st)
+	}
+	if !reflect.DeepEqual(firstVals, coldVals) || !reflect.DeepEqual(secondVals, coldVals) {
+		t.Fatalf("warm restart values differ from cold solve:\n cold %v\n first %v\n second %v",
+			coldVals, firstVals, secondVals)
+	}
+
+	// Promoted entries serve from memory on re-lookup, and mutating a
+	// returned slice must not poison either tier.
+	secondVals[0][0] = -1
+	thirdVals, err := (&Engine{Parallel: 1, Cache: second, SkipInfeasible: true}).MeasureRuns(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := second.Stats(); st.Hits != 2 {
+		t.Fatalf("promoted entries not served from memory: %+v", st)
+	}
+	if !reflect.DeepEqual(thirdVals, coldVals) {
+		t.Fatal("cache tier poisoned through a returned slice")
 	}
 }
 
@@ -117,8 +195,8 @@ func TestCacheHitEqualsColdSolve(t *testing.T) {
 }
 
 func cacheStats(c *Cache) (int64, int64, int) {
-	h, m, e := c.Stats()
-	return h, m, e
+	st := c.Stats()
+	return st.Hits, st.Misses, st.Entries
 }
 
 // TestDetailedMatchesScalar pins the two evaluation paths of the mcf

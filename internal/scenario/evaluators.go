@@ -3,6 +3,7 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/flowcheck"
 	"repro/internal/graph"
@@ -25,6 +26,7 @@ func init() {
 	RegisterEvaluator("bisection", parseBisection)
 	RegisterEvaluator("packet", parsePacket)
 	RegisterEvaluator("cut", parseCut)
+	RegisterEvaluator("failures", parseFailures)
 }
 
 // Detail is one run's full flow result, for the decomposition and bound
@@ -159,4 +161,69 @@ func parseCut(p Params) (Evaluator, error) {
 	r := p.Reader()
 	e := Cut{N1: r.Int("n1", 12)}
 	return e, r.Err()
+}
+
+// Failures wraps any registered evaluator with the random link-failure
+// model of the resilience sweeps: each run fails frac of the links
+// (graph.FailRandomLinks, drawn from the run's RNG stream right after
+// topology and traffic, so the failure pattern is a deterministic
+// function of the point like everything else) and evaluates the inner
+// metric on the degraded topology against the intact topology's traffic
+// matrix — exactly the FailureSweep semantics. Sweeping eval.frac yields
+// a graceful-degradation curve for any topology × traffic × metric
+// combination.
+//
+// The inner evaluator spec is embedded with '/' in place of ':' and ';'
+// in place of ',' (the spec grammar reserves those), e.g.
+//
+//	failures:frac=0.1,eval=mcf
+//	failures:frac=0.15,eval=bisection/trials=8
+type Failures struct {
+	Frac  float64
+	Inner Evaluator
+}
+
+func (e Failures) Spec() string {
+	return FormatSpec("failures",
+		"frac", FloatParam(e.Frac), "eval", embedSpec(e.Inner.Spec()))
+}
+
+func (e Failures) Evaluate(ctx *EvalContext) (float64, error) {
+	fg, err := ctx.G.FailRandomLinks(ctx.Rng, e.Frac)
+	if err != nil {
+		return 0, err
+	}
+	inner := *ctx
+	inner.G = fg
+	return e.Inner.Evaluate(&inner)
+}
+
+// embedSpec/unembedSpec translate a nested evaluator spec into a form a
+// single spec parameter value can carry.
+func embedSpec(spec string) string {
+	return strings.NewReplacer(":", "/", ",", ";").Replace(spec)
+}
+
+func unembedSpec(v string) string {
+	return strings.NewReplacer("/", ":", ";", ",").Replace(v)
+}
+
+func parseFailures(p Params) (Evaluator, error) {
+	r := p.Reader()
+	e := Failures{Frac: r.Float("frac", 0.1)}
+	innerSpec := unembedSpec(r.String("eval", "mcf"))
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if kind, _, err := SplitSpec(innerSpec); err != nil {
+		return nil, err
+	} else if kind == "failures" {
+		return nil, fmt.Errorf("scenario: failures evaluator cannot nest itself")
+	}
+	inner, err := ParseEvaluator(innerSpec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: failures inner evaluator: %w", err)
+	}
+	e.Inner = inner
+	return e, nil
 }

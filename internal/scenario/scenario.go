@@ -274,6 +274,15 @@ func (r *ParamReader) lookup(key string) (string, bool) {
 	return v, ok
 }
 
+// String reads a raw string parameter, with a default when absent.
+func (r *ParamReader) String(key, def string) string {
+	s, ok := r.lookup(key)
+	if !ok {
+		return def
+	}
+	return s
+}
+
 // Int reads an integer parameter, with a default when absent.
 func (r *ParamReader) Int(key string, def int) int {
 	s, ok := r.lookup(key)

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
@@ -30,6 +31,8 @@ func TestRegistryRoundTrip(t *testing.T) {
 				"torus:a=4,b=6",
 				"jellyfish:n=40,ports=15,deg=10",
 				"twocluster:n=12,deg=6,cross=8",
+				"expand",
+				"expand:n=20,deg=6,sps=2,steps=4,cap=2",
 			},
 		},
 		{
@@ -44,6 +47,9 @@ func TestRegistryRoundTrip(t *testing.T) {
 			specs: []string{
 				"mcf", "aspl", "bisection:trials=8",
 				"packet:subflows=4,warmup=40,measure=160", "cut:n1=12",
+				"failures",
+				"failures:frac=0.1,eval=mcf",
+				"failures:frac=0.15,eval=bisection/trials=8",
 			},
 		},
 	}
@@ -85,6 +91,88 @@ func TestRegistryRejectsUnknown(t *testing.T) {
 	}
 	if _, err := ParseEvaluator("packet:subflows=4,subflows=8"); err == nil {
 		t.Error("duplicate parameter accepted")
+	}
+	if _, err := ParseEvaluator("failures:eval=nope"); err == nil {
+		t.Error("failures with unknown inner evaluator accepted")
+	}
+	if _, err := ParseEvaluator("failures:eval=failures"); err == nil {
+		t.Error("self-nested failures evaluator accepted")
+	}
+}
+
+// TestFailuresEvaluator pins the failure wrapper's semantics: frac=0 is
+// the intact metric, higher fractions are deterministic per (point, run)
+// and never above the intact value for mcf throughput.
+func TestFailuresEvaluator(t *testing.T) {
+	run := func(spec string) []float64 {
+		t.Helper()
+		ev, err := ParseEvaluator(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := ParseTopology("rrg:n=16,deg=6,sps=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := &Engine{Parallel: 1}
+		vals, err := e.MeasureRuns([]Point{{
+			Topo: topo, Traffic: Permutation{}, Eval: ev,
+			Seed: 4, Runs: 2, Epsilon: 0.12,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals[0]
+	}
+	intact := run("mcf")
+	zero := run("failures:frac=0,eval=mcf")
+	if !reflect.DeepEqual(intact, zero) {
+		t.Fatalf("frac=0 differs from intact metric: %v vs %v", zero, intact)
+	}
+	failedA := run("failures:frac=0.2,eval=mcf")
+	failedB := run("failures:frac=0.2,eval=mcf")
+	if !reflect.DeepEqual(failedA, failedB) {
+		t.Fatalf("failure pattern not deterministic: %v vs %v", failedA, failedB)
+	}
+	for i, v := range failedA {
+		if v > intact[i]*(1+0.2) { // losing links cannot raise λ beyond ε jitter
+			t.Fatalf("run %d: throughput rose under failures: %v -> %v", i, intact[i], v)
+		}
+	}
+}
+
+// TestExpandTopology pins the expansion topology: steps new switches,
+// original degrees preserved, servers attached to the new switches.
+func TestExpandTopology(t *testing.T) {
+	topo, err := ParseTopology("expand:n=20,deg=6,sps=2,steps=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := topo.Build(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 23 {
+		t.Fatalf("expanded to %d switches, want 23", g.N())
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.Servers(u) != 2 {
+			t.Fatalf("switch %d has %d servers, want 2", u, g.Servers(u))
+		}
+	}
+	if !g.IsConnected() {
+		t.Fatal("expanded graph disconnected")
+	}
+	// An expanded point runs end-to-end through the engine.
+	e := &Engine{Parallel: 1}
+	vals, err := e.MeasureRuns([]Point{{
+		Topo: topo, Traffic: Permutation{}, Eval: MCF{}, Seed: 2, Runs: 1, Epsilon: 0.12,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals[0]) != 1 || vals[0][0] <= 0 {
+		t.Fatalf("expanded point evaluation: %v", vals)
 	}
 }
 

@@ -24,6 +24,7 @@ func init() {
 	RegisterTopology("torus", parseTorus)
 	RegisterTopology("jellyfish", parseJellyfish)
 	RegisterTopology("twocluster", parseTwoCluster)
+	RegisterTopology("expand", parseExpand)
 }
 
 // RRG is the paper's homogeneous design: a uniform random regular graph of
@@ -301,5 +302,55 @@ func (t *TwoCluster) Build(rng *rand.Rand) (*graph.Graph, error) {
 func parseTwoCluster(p Params) (Topology, error) {
 	r := p.Reader()
 	t := &TwoCluster{N: r.Int("n", 12), Deg: r.Int("deg", 6), Cross: r.Int("cross", 8)}
+	return t, r.Err()
+}
+
+// Expand is the paper's §2 incremental-expansion story made sweepable: an
+// RRG of n switches (degree deg, sps servers each) grown by steps
+// additional switches via rrg.ExpandWithSwitch — each new switch joins by
+// breaking deg/2 random existing links and rewiring both halves to
+// itself, leaving existing degrees untouched. New switches get the same
+// sps servers and links of capacity cap. Sweeping steps measures how
+// throughput evolves as a deployed fabric grows (deg must be even; odd
+// values are infeasible sweep points).
+type Expand struct {
+	N, Deg, SPS, Steps int
+	Cap                float64
+}
+
+func (t *Expand) Spec() string {
+	return FormatSpec("expand",
+		"n", IntParam(t.N), "deg", IntParam(t.Deg), "sps", IntParam(t.SPS),
+		"steps", IntParam(t.Steps), "cap", FloatParam(t.Cap))
+}
+
+func (t *Expand) Build(rng *rand.Rand) (*graph.Graph, error) {
+	g, err := rrg.Regular(rng, t.N, t.Deg)
+	if err != nil {
+		return nil, err
+	}
+	if t.SPS > 0 {
+		for u := 0; u < t.N; u++ {
+			g.SetServers(u, t.SPS)
+		}
+	}
+	g, err = rrg.ExpandBy(rng, g, t.Steps, t.Deg, t.Cap)
+	if err != nil {
+		return nil, err
+	}
+	if t.SPS > 0 {
+		for u := t.N; u < g.N(); u++ {
+			g.SetServers(u, t.SPS)
+		}
+	}
+	return g, nil
+}
+
+func parseExpand(p Params) (Topology, error) {
+	r := p.Reader()
+	t := &Expand{
+		N: r.Int("n", 40), Deg: r.Int("deg", 10), SPS: r.Int("sps", 0),
+		Steps: r.Int("steps", 1), Cap: r.Float("cap", 1),
+	}
 	return t, r.Err()
 }

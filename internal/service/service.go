@@ -1,0 +1,368 @@
+// Package service is the HTTP face of the scenario engine: a
+// topology-evaluation daemon (`topobench serve`) answering declarative
+// grid requests from the tiered solve cache, solving only what no process
+// has solved before.
+//
+// API (JSON unless noted):
+//
+//	POST /v1/eval          {"grid": "topo=... traffic=... eval=... sweep=..."}
+//	                       → EvalResponse: per-point coords, content
+//	                       address, summary stats, and raw run values.
+//	GET  /v1/result/<key>  one stored result by content address (hex
+//	                       SHA-256 of the point key) → 404 if absent.
+//	GET  /v1/scenarios     the three registries (topologies, traffics,
+//	                       evaluators).
+//	GET  /healthz          liveness probe ("ok").
+//	GET  /metrics          Prometheus text: cache/store hit/miss/bytes,
+//	                       request/rejection/dedup counters.
+//
+// Identical grids requested concurrently are deduplicated in flight
+// (singleflight): one evaluation runs, every waiter gets its bytes.
+// Admission is a bounded job queue — when MaxJobs evaluations are already
+// in flight, new distinct grids are rejected with 429 Too Many Requests
+// and a Retry-After hint, so overload degrades by backpressure instead of
+// queue collapse. Responses are canonically marshaled, so a warm replay
+// of a grid is byte-identical to the cold response (`topobench -scenario
+// -json` emits the same encoding for offline comparison).
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/scenario"
+	"repro/internal/store"
+)
+
+// Config wires a Server. Engine and Cache normally share the same tiered
+// cache; Store is the cache's durable tier (nil for memory-only serving).
+type Config struct {
+	Engine *scenario.Engine
+	Cache  *scenario.Cache
+	Store  *store.Store
+	// MaxJobs bounds eval requests in flight (executing, not waiting on an
+	// identical flight); further distinct grids get 429. <= 0 means
+	// 2·GOMAXPROCS.
+	MaxJobs int
+	// StoreMaxBytes, when > 0, prunes the store to this LRU byte budget
+	// after each evaluation.
+	StoreMaxBytes int64
+	// Defaults fill grid run controls the request line leaves unset.
+	Defaults Defaults
+}
+
+// Server handles the evaluation API. Create with New.
+type Server struct {
+	cfg  Config
+	jobs chan struct{}
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	requests atomic.Int64
+	rejected atomic.Int64
+	shared   atomic.Int64
+}
+
+// flight is one in-progress evaluation; waiters replay its bytes.
+type flight struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// New returns a Server ready to serve.
+func New(cfg Config) *Server {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 2 * runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		cfg:     cfg,
+		jobs:    make(chan struct{}, cfg.MaxJobs),
+		flights: map[string]*flight{},
+	}
+}
+
+// Handler returns the service's route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/eval", s.handleEval)
+	mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// EvalRequest is the POST /v1/eval body.
+type EvalRequest struct {
+	// Grid is a scenario grid line, the same grammar as `topobench
+	// -scenario` (see scenario.ParseGrid).
+	Grid string `json:"grid"`
+}
+
+// PointResult is one grid point of an EvalResponse.
+type PointResult struct {
+	// Coords are the point's sweep-axis values, in axis order.
+	Coords []string `json:"coords,omitempty"`
+	// Key is the point's content address — the hex SHA-256 of its cache
+	// key, usable with GET /v1/result/<key>.
+	Key string `json:"key"`
+	// OK is false when the point was infeasible and skipped.
+	OK   bool    `json:"ok"`
+	Runs int     `json:"runs"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// Values are the raw per-run values, in run order.
+	Values []float64 `json:"values,omitempty"`
+}
+
+// EvalResponse is the POST /v1/eval result.
+type EvalResponse struct {
+	Grid   string        `json:"grid"`
+	Points []PointResult `json:"points"`
+}
+
+// Defaults fill run controls a grid line leaves unset, mirroring the
+// topobench flag semantics (values inside the line always win). A zero
+// Seed defaults to 1 either way, so a line and its explicit-seed twin
+// address the same cache entries.
+type Defaults struct {
+	Runs    int
+	Seed    int64
+	Epsilon float64
+}
+
+// ErrBadRequest marks EvalGrid errors caused by the request (grammar,
+// unknown kinds) rather than by evaluation itself.
+var ErrBadRequest = errors.New("bad eval request")
+
+// EvalGrid parses and evaluates one grid line on the engine and builds
+// the canonical response. It is the single evaluation path shared by the
+// HTTP handler and `topobench -scenario -json`, so their bytes agree.
+func EvalGrid(eng *scenario.Engine, line string, def Defaults) (*EvalResponse, error) {
+	line = strings.Join(strings.Fields(line), " ")
+	grid, err := scenario.ParseGrid(line)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if grid.Runs == 0 {
+		grid.Runs = def.Runs
+	}
+	if grid.Seed == 0 {
+		grid.Seed = def.Seed
+	}
+	if grid.Seed == 0 {
+		grid.Seed = 1
+	}
+	if grid.Epsilon == 0 {
+		grid.Epsilon = def.Epsilon
+	}
+	gps, err := grid.Points()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	pts := make([]scenario.Point, len(gps))
+	for i, gp := range gps {
+		pts[i] = gp.Point
+	}
+	vals, err := eng.MeasureRuns(pts)
+	if err != nil {
+		return nil, err
+	}
+	resp := &EvalResponse{Grid: line, Points: make([]PointResult, len(gps))}
+	for i, gp := range gps {
+		st := scenario.Summarize(vals[i])
+		resp.Points[i] = PointResult{
+			Coords: gp.Coords,
+			Key:    store.Addr(gp.Key()),
+			OK:     st.OK,
+			Runs:   st.Runs,
+			Mean:   st.Mean, Std: st.Std, Min: st.Min, Max: st.Max,
+			Values: vals[i],
+		}
+	}
+	return resp, nil
+}
+
+// MarshalCanonical renders the response in its one true byte form —
+// indented JSON plus trailing newline — so equal results are equal bytes
+// across processes, machines, and transports.
+func (r *EvalResponse) MarshalCanonical() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req EvalRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Grid) == "" {
+		writeError(w, http.StatusBadRequest, errors.New("request needs a grid line"))
+		return
+	}
+	key := strings.Join(strings.Fields(req.Grid), " ")
+
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		// An identical grid is already evaluating: wait for its bytes
+		// instead of competing for a job slot.
+		s.mu.Unlock()
+		s.shared.Add(1)
+		<-f.done
+		writeBytes(w, f.status, f.body)
+		return
+	}
+	select {
+	case s.jobs <- struct{}{}:
+	default:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("evaluation queue full (%d jobs in flight)", cap(s.jobs)))
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	// Cleanup must survive a panicking evaluation (net/http recovers
+	// handler panics): an undeleted flight would wedge every future
+	// request for this grid on <-f.done, and an unreleased job slot would
+	// shrink the queue permanently.
+	defer func() {
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+		<-s.jobs
+	}()
+	f.status, f.body = s.evaluate(key)
+	writeBytes(w, f.status, f.body)
+}
+
+// evaluate runs one deduplicated grid evaluation and renders its bytes.
+// A panicking evaluator is reported as a 500, not a dropped connection.
+func (s *Server) evaluate(line string) (status int, body []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			status = http.StatusInternalServerError
+			body = errorBody(fmt.Errorf("evaluation panicked: %v", r))
+		}
+	}()
+	resp, err := EvalGrid(s.cfg.Engine, line, s.cfg.Defaults)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrBadRequest) {
+			status = http.StatusBadRequest
+		}
+		return status, errorBody(err)
+	}
+	if s.cfg.Store != nil && s.cfg.StoreMaxBytes > 0 {
+		s.cfg.Store.Prune(s.cfg.StoreMaxBytes)
+	}
+	body, err = resp.MarshalCanonical()
+	if err != nil {
+		return http.StatusInternalServerError, errorBody(err)
+	}
+	return http.StatusOK, body
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotFound, errors.New("no result store attached (serve with -cache-dir)"))
+		return
+	}
+	key := r.PathValue("key")
+	vals, ok := s.cfg.Store.LoadAddr(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no result under %s", key))
+		return
+	}
+	body, err := json.MarshalIndent(struct {
+		Key    string    `json:"key"`
+		Values []float64 `json:"values"`
+	}{key, vals}, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeBytes(w, http.StatusOK, append(body, '\n'))
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	body, err := json.MarshalIndent(struct {
+		Topologies []string `json:"topologies"`
+		Traffics   []string `json:"traffics"`
+		Evaluators []string `json:"evaluators"`
+	}{scenario.TopologyKinds(), scenario.TrafficKinds(), scenario.EvaluatorKinds()}, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeBytes(w, http.StatusOK, append(body, '\n'))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g := func(name string, v int64) {
+		fmt.Fprintf(w, "topobench_%s %d\n", name, v)
+	}
+	if c := s.cfg.Cache; c != nil {
+		st := c.Stats()
+		g("cache_hits_total", st.Hits)
+		g("cache_store_hits_total", st.StoreHits)
+		g("cache_misses_total", st.Misses)
+		g("cache_store_errors_total", st.StoreErrs)
+		g("cache_entries", int64(st.Entries))
+	}
+	if st := s.cfg.Store; st != nil {
+		ss := st.Stats()
+		g("store_hits_total", ss.Hits)
+		g("store_misses_total", ss.Misses)
+		g("store_writes_total", ss.Writes)
+		g("store_corrupt_total", ss.Corrupt)
+		g("store_evicted_total", ss.Evicted)
+		g("store_entries", int64(ss.Entries))
+		g("store_bytes", ss.Bytes)
+	}
+	g("eval_requests_total", s.requests.Load())
+	g("eval_rejected_total", s.rejected.Load())
+	g("eval_shared_total", s.shared.Load())
+	g("eval_inflight", int64(len(s.jobs)))
+}
+
+func writeBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func errorBody(err error) []byte {
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+	return append(body, '\n')
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeBytes(w, status, errorBody(err))
+}

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+)
+
+// The on-disk entry format is deliberately tiny and self-verifying:
+//
+//	offset  size  field
+//	0       4     magic "TBRS"
+//	4       2     codec version (little-endian uint16)
+//	6       2     reserved (zero)
+//	8       4     value count (little-endian uint32)
+//	12      8·n   IEEE-754 float64 values, little-endian bit patterns
+//	12+8n   4     CRC-32 (IEEE) of bytes [0, 12+8n)
+//
+// decode treats ANY deviation — short file, wrong magic, foreign codec
+// version, count/length mismatch, checksum failure — as "no entry": a
+// store can only ever return exactly what encode wrote, never garbage.
+//
+// CodecVersion must be bumped whenever the encoding of values changes
+// (layout, semantics, or the meaning of a run value): entries written by
+// an older codec then simply read as misses and are re-solved, so a
+// version bump can never resurrect stale bytes as fresh results.
+const (
+	CodecVersion uint16 = 1
+
+	headerSize  = 12
+	trailerSize = 4
+)
+
+var magic = [4]byte{'T', 'B', 'R', 'S'}
+
+// encode serializes run values into the versioned entry format.
+func encode(vals []float64) []byte {
+	buf := make([]byte, headerSize+8*len(vals)+trailerSize)
+	copy(buf[0:4], magic[:])
+	binary.LittleEndian.PutUint16(buf[4:6], CodecVersion)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(vals)))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[headerSize+8*i:], math.Float64bits(v))
+	}
+	sum := crc32.ChecksumIEEE(buf[:headerSize+8*len(vals)])
+	binary.LittleEndian.PutUint32(buf[headerSize+8*len(vals):], sum)
+	return buf
+}
+
+// decode parses an entry, returning ok=false on any corruption, version
+// mismatch, or truncation.
+func decode(buf []byte) ([]float64, bool) {
+	if len(buf) < headerSize+trailerSize {
+		return nil, false
+	}
+	if [4]byte(buf[0:4]) != magic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint16(buf[4:6]) != CodecVersion {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(buf[8:12])
+	if n > (1<<31-headerSize-trailerSize)/8 || len(buf) != headerSize+8*int(n)+trailerSize {
+		return nil, false
+	}
+	body := buf[:headerSize+8*int(n)]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(buf[len(body):]) {
+		return nil, false
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[headerSize+8*i:]))
+	}
+	return vals, true
+}

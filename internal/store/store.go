@@ -1,0 +1,323 @@
+// Package store is the disk-backed tier of the scenario engine's
+// content-addressed solve cache. It persists per-point run values under
+// their content address — the SHA-256 of the point's Key() string, the
+// same address the in-memory scenario.Cache uses — so a second process
+// answers a previously-solved grid from disk instead of re-solving it.
+//
+// The durability contract extends the cache-key invariant across
+// processes: under that invariant a stored entry holds exactly what a
+// cold solve of the same key would compute, so a warm read is
+// reflect.DeepEqual to a cold solve no matter which process wrote it.
+// Anything that could break the contract reads as a miss, never as wrong
+// data: entries are written with a versioned, checksummed codec (see
+// codec.go) and published atomically (temp file + rename in the shard
+// directory), so a truncated, tampered, torn, or stale-codec-version file
+// is silently re-solved and replaced.
+//
+// Layout: <dir>/<addr[:2]>/<addr[2:]> where addr is the lowercase hex
+// content address — 256 shard directories keep listings short at
+// millions of entries. Open scans the tree once into an in-memory index
+// (sizes + last-access ordering seeded from file mtimes); Prune evicts
+// least-recently-used entries down to a byte budget, skipping entries
+// pinned by in-flight reads.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Store is one handle on a result-store directory. It is safe for
+// concurrent use within a process; across processes, atomic publication
+// keeps concurrent writers safe (last writer wins with a complete entry),
+// and readers fall back to the filesystem for addresses written after the
+// handle was opened.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	index   map[string]*entry // content address -> entry
+	bytes   int64
+	clock   int64 // logical access clock for LRU ordering
+	hits    int64
+	misses  int64
+	writes  int64
+	corrupt int64
+	evicted int64
+
+	// loadHook, when set (tests only), runs after a Load has pinned its
+	// entry and released the lock, before the file is read — the window a
+	// concurrent Prune must not evict in.
+	loadHook func()
+}
+
+type entry struct {
+	size   int64
+	access int64 // logical clock of the last lookup (mtime-seeded at open)
+	pins   int   // in-flight reads; pinned entries are never evicted
+}
+
+// Stats is a point-in-time snapshot of a store handle's activity and
+// resident state.
+type Stats struct {
+	Hits, Misses int64 // Load outcomes through this handle
+	Writes       int64 // successful Saves
+	Corrupt      int64 // entries dropped because they failed to decode
+	Evicted      int64 // entries removed by Prune
+	Entries      int   // resident entries in the index
+	Bytes        int64 // total size of resident entries
+}
+
+// Addr is the content address of a cache key: lowercase hex SHA-256. It
+// is the on-disk name of the entry and the <key> of the service's
+// GET /v1/result/<key> route.
+func Addr(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:])
+}
+
+// Open creates (if needed) and indexes a store directory. The directory
+// must be writable: an unusable path is an error here, at open time, so
+// commands can fail cleanly instead of discovering it mid-run.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: cache dir %s not usable: %w", dir, err)
+	}
+	// Probe writability now: MkdirAll succeeds on an existing read-only
+	// directory, but Saves (and prune deletions) would fail later.
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("store: cache dir %s not writable: %w", dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+
+	s := &Store{dir: dir, index: map[string]*entry{}}
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		shard, name := filepath.Split(rel)
+		shard = filepath.Clean(shard)
+		addr := shard + name
+		if len(shard) != 2 || len(addr) != 2*sha256.Size || !isHex(addr) {
+			return nil // probe leftovers, temp files, foreign junk
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent prune/replace
+		}
+		e := &entry{size: info.Size(), access: info.ModTime().UnixNano()}
+		s.index[addr] = e
+		s.bytes += e.size
+		if e.access > s.clock {
+			s.clock = e.access
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: indexing %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func isHex(a string) bool {
+	for i := 0; i < len(a); i++ {
+		c := a[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(addr string) string {
+	return filepath.Join(s.dir, addr[:2], addr[2:])
+}
+
+// Load returns the run values stored under key, if a valid entry exists.
+// Corrupt or truncated entries are dropped and read as misses.
+func (s *Store) Load(key string) ([]float64, bool) {
+	return s.LoadAddr(Addr(key))
+}
+
+// LoadAddr is Load by precomputed content address (the service's
+// GET /v1/result path).
+func (s *Store) LoadAddr(addr string) ([]float64, bool) {
+	if len(addr) != 2*sha256.Size || !isHex(addr) {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	path := s.path(addr)
+	s.mu.Lock()
+	e, ok := s.index[addr]
+	if !ok {
+		// The entry may have been published by another process after this
+		// handle indexed the tree; adopt it if the file exists.
+		if info, err := os.Stat(path); err == nil {
+			e = &entry{size: info.Size()}
+			s.index[addr] = e
+			s.bytes += e.size
+			ok = true
+		}
+	}
+	if !ok {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.clock++
+	e.access = s.clock
+	e.pins++ // a pinned entry cannot be evicted mid-read
+	s.mu.Unlock()
+
+	if s.loadHook != nil {
+		s.loadHook()
+	}
+	buf, readErr := os.ReadFile(path)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.pins--
+	if readErr != nil {
+		s.dropLocked(addr, e)
+		s.misses++
+		return nil, false
+	}
+	vals, decOK := decode(buf)
+	if !decOK {
+		s.dropLocked(addr, e)
+		s.corrupt++
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	return vals, true
+}
+
+// dropLocked removes an entry from the index and best-effort from disk.
+// Caller holds s.mu.
+func (s *Store) dropLocked(addr string, e *entry) {
+	if cur, ok := s.index[addr]; ok && cur == e {
+		delete(s.index, addr)
+		s.bytes -= e.size
+		os.Remove(s.path(addr))
+	}
+}
+
+// Save publishes run values under key. Publication is atomic: the entry
+// is written to a temp file in its shard directory and renamed into
+// place, so concurrent writers racing on one key both leave a complete,
+// decodable entry (last rename wins) and readers never observe a torn
+// write.
+func (s *Store) Save(key string, vals []float64) error {
+	addr := Addr(key)
+	shard := filepath.Join(s.dir, addr[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	buf := encode(vals)
+	tmp, err := os.CreateTemp(shard, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(addr)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writes++
+	s.clock++
+	if e, ok := s.index[addr]; ok {
+		s.bytes += int64(len(buf)) - e.size
+		e.size = int64(len(buf))
+		e.access = s.clock
+		return nil
+	}
+	s.index[addr] = &entry{size: int64(len(buf)), access: s.clock}
+	s.bytes += int64(len(buf))
+	return nil
+}
+
+// Prune evicts least-recently-used entries until the store's resident
+// bytes are within maxBytes, returning how many entries were removed.
+// Entries pinned by in-flight Loads are never evicted — a read started
+// before the prune always completes against its bytes (or, if another
+// process already replaced the file, decodes the complete replacement).
+//
+// Victims are selected in one sorted pass and unlinked outside the store
+// lock, so concurrent lookups see at most an O(n log n) selection stall,
+// never per-file syscall latency. A Load racing an unlink (possible only
+// through the filesystem-adoption fallback) reads either the complete
+// entry or a clean miss.
+func (s *Store) Prune(maxBytes int64) int {
+	s.mu.Lock()
+	if s.bytes <= maxBytes {
+		s.mu.Unlock()
+		return 0
+	}
+	type victim struct {
+		addr   string
+		access int64
+	}
+	candidates := make([]victim, 0, len(s.index))
+	for addr, e := range s.index {
+		if e.pins == 0 {
+			candidates = append(candidates, victim{addr, e.access})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].access < candidates[j].access })
+	var evict []string
+	for _, v := range candidates {
+		if s.bytes <= maxBytes {
+			break
+		}
+		e := s.index[v.addr]
+		delete(s.index, v.addr)
+		s.bytes -= e.size
+		s.evicted++
+		evict = append(evict, v.addr)
+	}
+	s.mu.Unlock()
+	for _, addr := range evict {
+		os.Remove(s.path(addr))
+	}
+	return len(evict)
+}
+
+// Stats snapshots the handle's counters and resident state.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits: s.hits, Misses: s.misses, Writes: s.writes,
+		Corrupt: s.corrupt, Evicted: s.evicted,
+		Entries: len(s.index), Bytes: s.bytes,
+	}
+}
