@@ -11,9 +11,10 @@
 // prebuild staleness-margin, and phase-parallel worker-scaling ablations),
 // the scenario engine's solve cache (cold vs warm repeated-instance
 // sweep), the persistent result store (cold process vs warm restart over
-// a primed store directory), the bisection-bandwidth estimator, and two
-// representative figure runners in quick mode (one grid-heavy, one
-// decomposition-heavy).
+// a primed store directory), the remote store client (a Load round trip
+// against a warm peer, clean vs through the chaos injector), the
+// bisection-bandwidth estimator, and two representative figure runners in
+// quick mode (one grid-heavy, one decomposition-heavy).
 //
 // With -baseline, the fresh snapshot is compared entry-by-entry against a
 // committed earlier snapshot; -gate turns selected comparisons into hard
@@ -25,18 +26,24 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/maxflow"
 	"repro/internal/mcf"
+	"repro/internal/remotestore"
 	"repro/internal/rrg"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -127,6 +134,12 @@ func main() {
 		mode := mode
 		add("StoreColdWarm/"+mode, func(b *testing.B) {
 			benchStoreColdWarm(b, mode == "warm")
+		})
+	}
+	for _, mode := range []string{"clean", "faulty"} {
+		mode := mode
+		add("RemoteStore/"+mode, func(b *testing.B) {
+			benchRemoteStore(b, mode == "faulty")
 		})
 	}
 	for _, w := range []int{1, 2, 4} {
@@ -351,6 +364,71 @@ func benchStoreColdWarm(b *testing.B, warm bool) {
 		b.StopTimer()
 		os.RemoveAll(dir)
 		b.StartTimer()
+	}
+}
+
+// benchRemoteStore mirrors BenchmarkRemoteStore: one remote Load round
+// trip against a warm in-memory peer, over a healthy transport ("clean")
+// or through the chaos injector at the CI smoke's rates ("faulty") — the
+// faulty/clean ratio is what fault tolerance costs on the hit path.
+func benchRemoteStore(b *testing.B, faulty bool) {
+	var mu sync.Mutex
+	data := map[string][]byte{}
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		addr := strings.TrimPrefix(r.URL.Path, "/v1/result/")
+		switch r.Method {
+		case http.MethodGet:
+			mu.Lock()
+			body, ok := data[addr]
+			mu.Unlock()
+			if !ok {
+				http.Error(w, "not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", remotestore.ContentType)
+			w.Write(body)
+		case http.MethodPut:
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			mu.Lock()
+			data[addr] = body
+			mu.Unlock()
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
+	}))
+	defer hs.Close()
+	opt := remotestore.Options{
+		BaseURL: hs.URL,
+		// Microsecond backoff: measure the machinery, not the waits.
+		BackoffBase:     time.Microsecond,
+		BackoffMax:      10 * time.Microsecond,
+		BreakerCooldown: time.Millisecond,
+	}
+	if faulty {
+		fcfg, err := faultinject.ParseSpec("seed=11,error=0.2,corrupt=0.05")
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt.Transport = faultinject.NewTransport(nil, fcfg)
+	}
+	c := remotestore.New(opt)
+	key := "bench-point"
+	vals := make([]float64, 16)
+	for i := range vals {
+		vals[i] = float64(i) * 0.5
+	}
+	if err := c.Save(key, vals); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Load(key)
 	}
 }
 

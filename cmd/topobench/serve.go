@@ -10,6 +10,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/remotestore"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/service"
@@ -19,15 +21,26 @@ import (
 // runServe is the `topobench serve` subcommand: the scenario engine as a
 // long-running HTTP service (see internal/service for the API). With
 // -cache-dir, results persist across restarts — a warm daemon answers
-// previously-solved grids from disk without solving anything.
+// previously-solved grids from disk without solving anything. With -peer,
+// the replica joins a fleet: misses consult the peer's result store
+// (retries/backoff/circuit breaker, see internal/remotestore), hits are
+// promoted to local disk, and solves are published back — so a grid
+// solved anywhere is solved everywhere. -claim-lease additionally
+// coordinates cold solves through crash-safe claim leases on a shared
+// -cache-dir, so replicas sharing a pool solve each point once
+// fleet-wide.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("topobench serve", flag.ExitOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
-		cacheDir = fs.String("cache-dir", "", "persistent result-store directory (empty: memory-only)")
-		workers  = fs.Int("workers", 0, "bound on total in-flight evaluation work (0 = GOMAXPROCS)")
-		jobs     = fs.Int("jobs", 0, "max eval requests in flight before 429 backpressure (0 = 2*GOMAXPROCS)")
-		maxBytes = fs.Int64("store-max-bytes", 0, "LRU-prune the store to this byte budget after each eval (0 = unbounded)")
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address")
+		cacheDir   = fs.String("cache-dir", "", "persistent result-store directory (empty: memory-only)")
+		workers    = fs.Int("workers", 0, "bound on total in-flight evaluation work (0 = GOMAXPROCS)")
+		jobs       = fs.Int("jobs", 0, "max eval requests in flight before 429 backpressure (0 = 2*GOMAXPROCS)")
+		maxBytes   = fs.Int64("store-max-bytes", 0, "LRU-prune the store to this byte budget after each eval (0 = unbounded)")
+		peer       = fs.String("peer", "", "peer replica base URL to share results with (e.g. http://10.0.0.2:8080)")
+		faultSpec  = fs.String("fault-inject", "", "inject faults into peer traffic, e.g. \"seed=7,error=0.2,corrupt=0.05\" (testing)")
+		lease      = fs.Duration("claim-lease", 0, "claim-lease TTL for fleet-wide solve dedup on a shared -cache-dir (0 = off)")
+		reqTimeout = fs.Duration("request-timeout", 0, "per-evaluation wall-clock bound; expiry answers 504 (0 = unbounded)")
 	)
 	fs.Parse(args)
 
@@ -42,10 +55,40 @@ func runServe(args []string) {
 		}
 		cache.SetBackend(st)
 	}
+	var remote *remotestore.Client
+	if *peer != "" {
+		ropt := remotestore.Options{BaseURL: *peer}
+		if *faultSpec != "" {
+			fcfg, err := faultinject.ParseSpec(*faultSpec)
+			if err != nil {
+				fatal(err)
+			}
+			ropt.Transport = faultinject.NewTransport(nil, fcfg)
+			fmt.Fprintf(os.Stderr, "topobench serve: FAULT INJECTION active on peer traffic (%s)\n", *faultSpec)
+		}
+		remote = remotestore.New(ropt)
+	}
+	var tiered *store.Tiered
+	switch {
+	case st != nil && (remote != nil || *lease > 0):
+		// Tiered backend: disk, then peer (with write-back promotion), with
+		// optional claim-lease solve dedup across replicas sharing the dir.
+		var rb store.Backend
+		if remote != nil {
+			rb = remote
+		}
+		tiered = store.NewTiered(st, rb, store.TieredOptions{LeaseTTL: *lease})
+		cache.SetBackend(tiered)
+	case remote != nil:
+		// No local disk: the peer is the only durable tier.
+		cache.SetBackend(remote)
+	}
 	eng := &scenario.Engine{Parallel: *workers, Cache: cache, SkipInfeasible: true}
 	svc := service.New(service.Config{
 		Engine: eng, Cache: cache, Store: st,
 		MaxJobs: *jobs, StoreMaxBytes: *maxBytes,
+		Remote: remote, Tiered: tiered,
+		RequestTimeout: *reqTimeout,
 	})
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
@@ -75,6 +118,16 @@ func runServe(args []string) {
 	}
 	<-drained
 	printCacheStats(cache, st)
+	if tiered != nil {
+		ts := tiered.Stats()
+		fmt.Fprintf(os.Stderr, "tiered: %d disk hits, %d remote hits, %d misses, %d promotions, %d claims won, %d wait hits, %d reclaims\n",
+			ts.DiskHits, ts.RemoteHits, ts.Misses, ts.Promotions, ts.ClaimsWon, ts.WaitHits, ts.Reclaims)
+	}
+	if remote != nil {
+		rs := remote.Stats()
+		fmt.Fprintf(os.Stderr, "remote %s: %d/%d load hits, %d saves (%d errors), %d retries, %d failures, %d breaker opens, breaker %s\n",
+			remote.BaseURL(), rs.LoadHits, rs.Loads, rs.Saves, rs.SaveErrs, rs.Retries, rs.Failures, rs.BreakerOpens, rs.State)
+	}
 }
 
 // printCacheStats reports the tiered cache and store activity — the

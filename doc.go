@@ -57,6 +57,37 @@
 // byte-identical to the cold response, and `topobench -scenario -json`
 // emits the same bytes from the command line.
 //
+// # Fault-tolerant distributed evaluation
+//
+// Replicas form a fleet: `topobench serve -peer <url>` consults another
+// replica's result pool over HTTP via internal/remotestore, a
+// scenario.Backend that ships the store's own TBRS bytes on the wire
+// (CRC re-verified on receipt), retries retryable failures with
+// exponential backoff and full jitter under per-attempt deadlines, and
+// trips a circuit breaker on consecutive failures so a dead peer costs
+// one cheap rejection per call. store.Tiered layers disk before the peer
+// with write-back promotion, and `-claim-lease` adds crash-safe
+// cross-replica singleflight: cold solves race for an atomically linked
+// claim file on the shared store directory, losers poll for the winner's
+// entry, and expired leases are reclaimed — a crashed winner delays its
+// point by one lease TTL, never wedges it. The governing rule is the
+// cache-key invariant's degradation ladder: a local solve returns
+// byte-identical values, so every failure at every layer — timeout, 5xx,
+// corrupt payload, open breaker, lost claim — degrades to "miss, solve
+// locally", never to an error and never to wrong data.
+// internal/faultinject proves it: deterministic seeded fault-injecting
+// RoundTripper/Backend wrappers (latency, timeouts, 5xx, resets,
+// truncation, bit flips) drive the chaos suites in internal/remotestore,
+// internal/store, and internal/service, and `-fault-inject` wires the
+// same injector into a live replica for the CI chaos smoke — two
+// replicas under 20% transport errors answering byte-identically to a
+// clean run. The service itself recovers panics, bounds evaluations with
+// `-request-timeout` (cancellation propagates through the engine into
+// mcf.Solve phase boundaries; determinism is untouched because a solve
+// either completes identically or returns nothing), reports degraded
+// health on /healthz while remote errors are recent, and exposes
+// retry/breaker/claim counters on /metrics.
+//
 // # Performance architecture
 //
 // Every figure of the evaluation bottoms out in mcf.Solve, the

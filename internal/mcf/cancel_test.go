@@ -1,0 +1,61 @@
+package mcf
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rrg"
+	"repro/internal/traffic"
+)
+
+// cancelInstance builds a solve big enough to span multiple phases.
+func cancelInstance(t *testing.T) (*graph.Graph, []traffic.Flow) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g, err := rrg.Regular(rng, 24, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 24; u++ {
+		g.SetServers(u, 2)
+	}
+	tm := traffic.Permutation(rng, traffic.HostsOf(g))
+	return g, tm.Flows
+}
+
+// TestSolveCancelBeforeStart: a pre-closed Cancel channel aborts at the
+// first phase boundary with ErrCanceled and no result.
+func TestSolveCancelBeforeStart(t *testing.T) {
+	g, flows := cancelInstance(t)
+	done := make(chan struct{})
+	close(done)
+	res, err := Solve(g, flows, Options{Epsilon: 0.1, Cancel: done})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err: %v, want ErrCanceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled solve returned a result")
+	}
+}
+
+// TestSolveCancelNeverChangesResults: a completed solve is byte-identical
+// whether or not a (never-fired) Cancel channel was attached — the
+// guarantee that lets the service thread request contexts into every
+// solve without risking the determinism contract.
+func TestSolveCancelNeverChangesResults(t *testing.T) {
+	g, flows := cancelInstance(t)
+	plain, err := Solve(g, flows, Options{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed, err := Solve(g, flows, Options{Epsilon: 0.1, Cancel: make(chan struct{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Throughput != armed.Throughput || !reflect.DeepEqual(plain.ArcFlow, armed.ArcFlow) {
+		t.Fatal("attaching an unfired Cancel channel changed the solve")
+	}
+}

@@ -72,6 +72,15 @@ type Options struct {
 	// any fixed margin (the margin test is evaluated on the frozen
 	// phase-start lengths).
 	PrebuildMargin float64
+	// Cancel, when non-nil, aborts the solve at the next phase boundary
+	// once the channel is closed (typically a context's Done channel):
+	// Solve then returns ErrCanceled and whatever partial work was done is
+	// discarded. Phase boundaries are the only check points, so a
+	// completed solve is byte-identical whether or not a Cancel channel
+	// was attached — cancellation can abort results, never change them.
+	// The evaluation service wires a dropped client's request context
+	// here, so an abandoned grid stops burning CPU within one phase.
+	Cancel <-chan struct{}
 	// DisableBucket forces every tree construction onto the 4-ary heap
 	// Dijkstra instead of letting the solver pick the bucket-queue
 	// traversal when the phase's length spread favors it. The trajectory
@@ -87,6 +96,10 @@ const DefaultEpsilon = 0.08
 // ErrUnreachable is returned when some commodity's endpoints are not
 // connected, so no positive concurrent throughput exists.
 var ErrUnreachable = errors.New("mcf: commodity endpoints disconnected")
+
+// ErrCanceled is returned when Options.Cancel fired before the solve
+// converged; no partial result is produced.
+var ErrCanceled = errors.New("mcf: solve canceled")
 
 // Result reports the solved flow and the decomposition metrics of §6.1.
 type Result struct {
@@ -190,6 +203,13 @@ func Solve(g *graph.Graph, flows []traffic.Flow, opt Options) (*Result, error) {
 	// (measured ≈ 1.2ε at ε = 0.1), so the early stop does not change the
 	// solver's effective quality class, only its phase count.
 	for s.lenCapSum < 1 && s.phases < maxPhases {
+		if opt.Cancel != nil {
+			select {
+			case <-opt.Cancel:
+				return nil, ErrCanceled
+			default:
+			}
+		}
 		s.runPhase()
 		if s.alpha > 0 {
 			// Track the best dual bound seen and snapshot its length

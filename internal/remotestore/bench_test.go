@@ -1,0 +1,104 @@
+package remotestore
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// benchPeer is a minimal in-memory peer speaking the result routes: the
+// remote-store hot path without engine or disk noise, so the benchmark
+// isolates the client's own cost (codec, CRC re-verify, retry machinery).
+func benchPeer(b *testing.B) *httptest.Server {
+	b.Helper()
+	var mu sync.Mutex
+	data := map[string][]byte{}
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		addr := strings.TrimPrefix(r.URL.Path, "/v1/result/")
+		switch r.Method {
+		case http.MethodGet:
+			mu.Lock()
+			body, ok := data[addr]
+			mu.Unlock()
+			if !ok {
+				http.Error(w, "not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", ContentType)
+			w.Write(body)
+		case http.MethodPut:
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			mu.Lock()
+			data[addr] = body
+			mu.Unlock()
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
+	}))
+	b.Cleanup(hs.Close)
+	return hs
+}
+
+// BenchmarkRemoteStore measures one remote Load round trip against a warm
+// peer: "clean" over a healthy transport, "faulty" through the chaos
+// injector at the CI smoke's rates (20% errors, 5% corruption) — the
+// faulty/clean ratio is what fault tolerance costs on the hit path
+// (retries, backoff bookkeeping, breaker trips) while every call still
+// terminates with an answer.
+func BenchmarkRemoteStore(b *testing.B) {
+	for _, mode := range []string{"clean", "faulty"} {
+		b.Run(mode, func(b *testing.B) {
+			hs := benchPeer(b)
+			opt := Options{
+				BaseURL: hs.URL,
+				// Microsecond backoff: the benchmark measures machinery, not
+				// the (configurable) waits themselves.
+				BackoffBase:     time.Microsecond,
+				BackoffMax:      10 * time.Microsecond,
+				BreakerCooldown: time.Millisecond,
+			}
+			if mode == "faulty" {
+				fcfg, err := faultinject.ParseSpec("seed=11,error=0.2,corrupt=0.05")
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt.Transport = faultinject.NewTransport(nil, fcfg)
+			}
+			c := New(opt)
+			key := "bench-point"
+			vals := make([]float64, 16)
+			for i := range vals {
+				vals[i] = float64(i) * 0.5
+			}
+			if err := c.Save(key, vals); err != nil {
+				b.Fatal(err)
+			}
+			if got, ok := c.Load(key); !ok || len(got) != len(vals) {
+				b.Fatal("peer did not serve the primed entry")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Under faults a call may degrade to a miss (breaker open,
+				// retries exhausted) — that IS the measured behavior; what it
+				// must never do is error or stall.
+				c.Load(key)
+			}
+			b.StopTimer()
+			if st := c.Stats(); st.Loads < int64(b.N) {
+				b.Fatalf("stats undercount: %+v", st)
+			}
+		})
+	}
+}

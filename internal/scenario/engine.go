@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -120,13 +121,33 @@ func (e *Engine) Measure(pts []Point) ([]Stat, error) {
 // run order. A nil slice marks a point skipped as infeasible. The returned
 // slices may be served from the cache and must be treated as read-only.
 func (e *Engine) MeasureRuns(pts []Point) ([][]float64, error) {
-	return runner.Map(e.pool(), len(pts), func(i int) ([]float64, error) {
-		vals, err := e.runPoint(pts[i])
+	return e.MeasureRunsCtx(context.Background(), pts)
+}
+
+// MeasureRunsCtx is MeasureRuns under a context: once ctx is done, no new
+// point or run starts, in-flight flow solves abort at their next phase
+// boundary (mcf.Options.Cancel), and the context's error is returned.
+// Cancellation never reaches the cache — an aborted run stores nothing —
+// so a canceled grid re-evaluates cleanly. The evaluation service threads
+// each request's context here so a dropped client stops burning solver
+// time instead of holding a queue slot to completion.
+func (e *Engine) MeasureRunsCtx(ctx context.Context, pts []Point) ([][]float64, error) {
+	vals, err := runner.Map(e.pool(), len(pts), func(i int) ([]float64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		vals, err := e.runPoint(ctx, pts[i])
 		if err != nil {
+			// Report the cancellation itself, not the per-point error it
+			// surfaced as, so callers can errors.Is it.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("scenario: point %d (%s): %w", i, pts[i].Key(), err)
 		}
 		return vals, nil
 	})
+	return vals, err
 }
 
 // MeasureOne evaluates a single point (the adaptive-search building block;
@@ -139,7 +160,7 @@ func (e *Engine) MeasureOne(p Point) (Stat, error) {
 	return stats[0], nil
 }
 
-func (e *Engine) runPoint(p Point) ([]float64, error) {
+func (e *Engine) runPoint(ctx context.Context, p Point) ([]float64, error) {
 	key := ""
 	if p.Topo.Spec() != "" {
 		key = p.Key()
@@ -150,7 +171,10 @@ func (e *Engine) runPoint(p Point) ([]float64, error) {
 		}
 	}
 	vals, err := runner.Map(e.pool(), p.runs(), func(i int) (float64, error) {
-		v, _, err := e.oneRun(p, i, false)
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		v, _, err := e.oneRun(ctx, p, i, false)
 		return v, err
 	})
 	if err != nil {
@@ -175,7 +199,7 @@ func (e *Engine) MeasureDetailed(pts []Point) ([][]Detail, error) {
 			return nil, fmt.Errorf("scenario: evaluator %s has no detailed mode", p.Eval.Spec())
 		}
 		dets, err := runner.Map(e.pool(), p.runs(), func(run int) (Detail, error) {
-			_, d, err := e.oneRun(p, run, true)
+			_, d, err := e.oneRun(context.Background(), p, run, true)
 			return d, err
 		})
 		if err != nil {
@@ -189,14 +213,15 @@ func (e *Engine) MeasureDetailed(pts []Point) ([][]Detail, error) {
 }
 
 // oneRun executes run i of a point: one RNG stream through build, traffic,
-// and evaluation.
-func (e *Engine) oneRun(p Point, i int, keep bool) (float64, Detail, error) {
+// and evaluation. cctx's cancellation is handed to the evaluator; it never
+// influences a completed run's value.
+func (e *Engine) oneRun(cctx context.Context, p Point, i int, keep bool) (float64, Detail, error) {
 	rng := rand.New(rand.NewSource(p.Seed*p.seedFactor() + int64(i)))
 	g, err := p.Topo.Build(rng)
 	if err != nil {
 		return 0, Detail{}, fmt.Errorf("build run %d: %w", i, err)
 	}
-	ctx := &EvalContext{G: g, Rng: rng, Epsilon: p.Epsilon}
+	ctx := &EvalContext{G: g, Rng: rng, Epsilon: p.Epsilon, Cancel: cctx.Done()}
 	if p.Traffic != nil {
 		ctx.TM, err = p.Traffic.Matrix(rng, g)
 		if err != nil {

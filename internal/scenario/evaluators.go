@@ -57,7 +57,7 @@ func (e MCF) Evaluate(ctx *EvalContext) (float64, error) {
 }
 
 func (MCF) EvaluateDetailed(ctx *EvalContext) (Detail, error) {
-	res, err := mcf.Solve(ctx.G, ctx.TM.Flows, mcf.Options{Epsilon: ctx.Epsilon})
+	res, err := mcf.Solve(ctx.G, ctx.TM.Flows, mcf.Options{Epsilon: ctx.Epsilon, Cancel: ctx.Cancel})
 	if errors.Is(err, mcf.ErrUnreachable) {
 		// A disconnected instance (e.g. zero cross-cluster links) has zero
 		// concurrent throughput; report it rather than failing the sweep.

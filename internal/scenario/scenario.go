@@ -100,6 +100,12 @@ type EvalContext struct {
 	Rng *rand.Rand
 	// Epsilon is the flow-solver approximation parameter of the point.
 	Epsilon float64
+	// Cancel, when non-nil, is closed to abort the evaluation (typically a
+	// request context's Done channel threaded through the engine).
+	// Long-running evaluators should poll it at natural checkpoints and
+	// return the cancellation as an error; cancellation may abort a run,
+	// never change a completed run's value.
+	Cancel <-chan struct{}
 }
 
 // ---- registries ----

@@ -24,18 +24,36 @@
 // queue collapse. Responses are canonically marshaled, so a warm replay
 // of a grid is byte-identical to the cold response (`topobench -scenario
 // -json` emits the same encoding for offline comparison).
+//
+// The service is hardened to be a safe fleet peer (see the repo's "Fault
+// tolerance" doc section): every handler runs under panic-recovery
+// middleware (a bug answers 500, the daemon survives); each evaluation
+// runs under its request's context — plus an optional RequestTimeout —
+// so a disconnected client aborts its solve at the next phase boundary
+// instead of burning a queue slot (a singleflighted evaluation aborts
+// only once EVERY attached request is gone); GET /v1/result/<key> serves
+// raw TBRS codec bytes to peers that ask (Accept: application/x-tbrs) and
+// PUT /v1/result/<key> accepts them, CRC-verified before anything touches
+// the store; /healthz reports degraded state (remote-tier errors, open
+// circuit breaker) and 503 only when the job queue is wedged; and
+// /metrics exposes the breaker/retry/claim counters alongside the cache
+// and store ones.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/remotestore"
 	"repro/internal/scenario"
 	"repro/internal/store"
 )
@@ -55,6 +73,19 @@ type Config struct {
 	StoreMaxBytes int64
 	// Defaults fill grid run controls the request line leaves unset.
 	Defaults Defaults
+	// Remote, when the cache has a remote tier, surfaces its breaker and
+	// retry counters on /metrics and drives the degraded /healthz state.
+	Remote *remotestore.Client
+	// Tiered, when the store is fronted by store.Tiered, surfaces its
+	// hit/promotion/claim counters on /metrics.
+	Tiered *store.Tiered
+	// RequestTimeout bounds each evaluation's wall clock (0 = unbounded);
+	// expiry aborts the solve at its next phase boundary and answers 504.
+	RequestTimeout time.Duration
+	// WedgeAfter is how long the job queue may sit full with no slot
+	// acquired or released before /healthz reports wedged (503).
+	// 0 means 5 minutes.
+	WedgeAfter time.Duration
 }
 
 // Server handles the evaluation API. Create with New.
@@ -68,13 +99,57 @@ type Server struct {
 	requests atomic.Int64
 	rejected atomic.Int64
 	shared   atomic.Int64
+	panics   atomic.Int64
+	timeouts atomic.Int64
+	canceled atomic.Int64
+	puts     atomic.Int64
+	putBad   atomic.Int64
+	// lastSlot is the unix-nano time a job slot last changed hands — the
+	// liveness signal behind /healthz wedge detection.
+	lastSlot atomic.Int64
 }
 
-// flight is one in-progress evaluation; waiters replay its bytes.
+// flight is one in-progress evaluation; waiters replay its bytes. The
+// evaluation runs under the flight's context, which is canceled only when
+// every attached request has gone away (or RequestTimeout expires), so one
+// impatient client never aborts a solve other waiters still want.
 type flight struct {
-	done   chan struct{}
-	status int
-	body   []byte
+	done    chan struct{}
+	status  int
+	body    []byte
+	ctx     context.Context
+	cancel  context.CancelFunc
+	waiters atomic.Int64
+}
+
+func newFlight(timeout time.Duration) *flight {
+	f := &flight{done: make(chan struct{})}
+	if timeout > 0 {
+		f.ctx, f.cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		f.ctx, f.cancel = context.WithCancel(context.Background())
+	}
+	return f
+}
+
+// attach ties one request's lifetime to the flight: the flight's context
+// is canceled only once EVERY attached request is gone and the evaluation
+// has not already completed.
+func (f *flight) attach(rctx context.Context) {
+	f.waiters.Add(1)
+	go func() {
+		select {
+		case <-rctx.Done():
+		case <-f.done:
+		}
+		if f.waiters.Add(-1) == 0 {
+			select {
+			case <-f.done: // completed: nothing left to cancel
+			default:
+				f.cancel()
+			}
+		}
+	}()
 }
 
 // New returns a Server ready to serve.
@@ -82,25 +157,48 @@ func New(cfg Config) *Server {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 2 * runtime.GOMAXPROCS(0)
 	}
-	return &Server{
+	if cfg.WedgeAfter <= 0 {
+		cfg.WedgeAfter = 5 * time.Minute
+	}
+	s := &Server{
 		cfg:     cfg,
 		jobs:    make(chan struct{}, cfg.MaxJobs),
 		flights: map[string]*flight{},
 	}
+	s.lastSlot.Store(time.Now().UnixNano())
+	return s
 }
 
-// Handler returns the service's route mux.
+// Handler returns the service's routes wrapped in panic-recovery
+// middleware: a handler bug answers 500 (when nothing was written yet) and
+// increments topobench_eval_panics_total; the daemon survives.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/eval", s.handleEval)
 	mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
+	mux.HandleFunc("PUT /v1/result/{key}", s.handlePutResult)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.recoverer(mux)
+}
+
+func (s *Server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.panics.Add(1)
+				// Best effort: if the handler already wrote headers this is
+				// a no-op on them, but the connection still closes cleanly.
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal panic: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // EvalRequest is the POST /v1/eval body.
@@ -152,6 +250,14 @@ var ErrBadRequest = errors.New("bad eval request")
 // the canonical response. It is the single evaluation path shared by the
 // HTTP handler and `topobench -scenario -json`, so their bytes agree.
 func EvalGrid(eng *scenario.Engine, line string, def Defaults) (*EvalResponse, error) {
+	return EvalGridCtx(context.Background(), eng, line, def)
+}
+
+// EvalGridCtx is EvalGrid under a context: cancellation stops the grid at
+// the next point/run boundary (and in-flight MCF solves at their next
+// phase boundary) and returns the context's error. A canceled evaluation
+// stores nothing, so re-requesting the grid re-solves cleanly.
+func EvalGridCtx(ctx context.Context, eng *scenario.Engine, line string, def Defaults) (*EvalResponse, error) {
 	line = strings.Join(strings.Fields(line), " ")
 	grid, err := scenario.ParseGrid(line)
 	if err != nil {
@@ -177,7 +283,7 @@ func EvalGrid(eng *scenario.Engine, line string, def Defaults) (*EvalResponse, e
 	for i, gp := range gps {
 		pts[i] = gp.Point
 	}
-	vals, err := eng.MeasureRuns(pts)
+	vals, err := eng.MeasureRunsCtx(ctx, pts)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +329,9 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if f, ok := s.flights[key]; ok {
 		// An identical grid is already evaluating: wait for its bytes
-		// instead of competing for a job slot.
+		// instead of competing for a job slot. Attaching keeps the solve
+		// alive even if its originating client hangs up first.
+		f.attach(r.Context())
 		s.mu.Unlock()
 		s.shared.Add(1)
 		<-f.done
@@ -232,6 +340,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case s.jobs <- struct{}{}:
+		s.lastSlot.Store(time.Now().UnixNano())
 	default:
 		s.mu.Unlock()
 		s.rejected.Add(1)
@@ -240,7 +349,8 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("evaluation queue full (%d jobs in flight)", cap(s.jobs)))
 		return
 	}
-	f := &flight{done: make(chan struct{})}
+	f := newFlight(s.cfg.RequestTimeout)
+	f.attach(r.Context())
 	s.flights[key] = f
 	s.mu.Unlock()
 
@@ -253,25 +363,41 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		delete(s.flights, key)
 		s.mu.Unlock()
 		close(f.done)
+		f.cancel()
 		<-s.jobs
+		s.lastSlot.Store(time.Now().UnixNano())
 	}()
-	f.status, f.body = s.evaluate(key)
+	f.status, f.body = s.evaluate(f.ctx, key)
 	writeBytes(w, f.status, f.body)
 }
 
 // evaluate runs one deduplicated grid evaluation and renders its bytes.
-// A panicking evaluator is reported as a 500, not a dropped connection.
-func (s *Server) evaluate(line string) (status int, body []byte) {
+// A panicking evaluator is reported as a 500, not a dropped connection;
+// cancellation and deadline expiry get their own statuses so callers can
+// tell an aborted solve from a broken one.
+func (s *Server) evaluate(ctx context.Context, line string) (status int, body []byte) {
 	defer func() {
 		if r := recover(); r != nil {
+			s.panics.Add(1)
 			status = http.StatusInternalServerError
 			body = errorBody(fmt.Errorf("evaluation panicked: %v", r))
 		}
 	}()
-	resp, err := EvalGrid(s.cfg.Engine, line, s.cfg.Defaults)
+	resp, err := EvalGridCtx(ctx, s.cfg.Engine, line, s.cfg.Defaults)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, ErrBadRequest) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timeouts.Add(1)
+			status = http.StatusGatewayTimeout
+			err = fmt.Errorf("evaluation exceeded the request timeout (%s)", s.cfg.RequestTimeout)
+		case errors.Is(err, context.Canceled):
+			// 499: nginx's "client closed request" — every attached client
+			// went away, so nobody reads this, but the flight records it.
+			s.canceled.Add(1)
+			status = 499
+			err = errors.New("evaluation canceled: all requesting clients disconnected")
+		case errors.Is(err, ErrBadRequest):
 			status = http.StatusBadRequest
 		}
 		return status, errorBody(err)
@@ -297,6 +423,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no result under %s", key))
 		return
 	}
+	if r.Header.Get("Accept") == remotestore.ContentType {
+		// Peer replicas (internal/remotestore) ask for the raw TBRS codec
+		// bytes; re-encoding the loaded values always yields a valid entry,
+		// so a peer never receives disk corruption.
+		w.Header().Set("Content-Type", remotestore.ContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(store.EncodeValues(vals))
+		return
+	}
 	body, err := json.MarshalIndent(struct {
 		Key    string    `json:"key"`
 		Values []float64 `json:"values"`
@@ -306,6 +441,106 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeBytes(w, http.StatusOK, append(body, '\n'))
+}
+
+// maxPutBytes bounds a PUT /v1/result body — matches the remotestore
+// client's own entry cap (a run-values entry is a few KB in practice).
+const maxPutBytes = 4 << 20
+
+// handlePutResult accepts one TBRS entry from a peer replica. The body is
+// decoded — CRC re-verified — before anything touches the store, so a
+// corrupt or truncated upload is rejected with 400 and can never poison
+// the cache (the codec-boundary corruption rule, applied to the network).
+func (s *Server) handlePutResult(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("no result store attached (serve with -cache-dir)"))
+		return
+	}
+	key := r.PathValue("key")
+	if !validAddr(key) {
+		s.putBad.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed content address %q", key))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPutBytes+1))
+	if err != nil {
+		s.putBad.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading entry: %w", err))
+		return
+	}
+	if len(body) > maxPutBytes {
+		s.putBad.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("entry exceeds %d bytes", maxPutBytes))
+		return
+	}
+	vals, ok := store.DecodeValues(body)
+	if !ok {
+		s.putBad.Add(1)
+		writeError(w, http.StatusBadRequest, errors.New("entry failed codec/CRC verification"))
+		return
+	}
+	if err := s.cfg.Store.SaveAddr(key, vals); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.puts.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func validAddr(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleHealthz reports liveness in three grades: "ok"; "degraded" (still
+// 200 — the replica serves, but its remote tier saw errors in the last 30s
+// or the breaker is open, so it may be solving cold); and "wedged" (503 —
+// every job slot has been occupied with no slot turnover for WedgeAfter,
+// so new work cannot make progress and the replica should be restarted or
+// drained).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type report struct {
+		Status  string   `json:"status"`
+		Reasons []string `json:"reasons,omitempty"`
+	}
+	render := func(status int, rep report) {
+		body, _ := json.Marshal(rep)
+		writeBytes(w, status, append(body, '\n'))
+	}
+	if len(s.jobs) == cap(s.jobs) {
+		idle := time.Since(time.Unix(0, s.lastSlot.Load()))
+		if idle > s.cfg.WedgeAfter {
+			render(http.StatusServiceUnavailable, report{
+				Status: "wedged",
+				Reasons: []string{fmt.Sprintf(
+					"all %d job slots occupied with no turnover for %s", cap(s.jobs), idle.Round(time.Second))},
+			})
+			return
+		}
+	}
+	var reasons []string
+	if c := s.cfg.Remote; c != nil {
+		if state := c.State(); state != remotestore.Closed {
+			reasons = append(reasons, "remote store circuit breaker "+state.String())
+		}
+		if n := c.RecentErrors(30 * time.Second); n > 0 {
+			reasons = append(reasons, fmt.Sprintf("%d remote store errors in the last 30s", n))
+		}
+	}
+	if len(reasons) > 0 {
+		render(http.StatusOK, report{Status: "degraded", Reasons: reasons})
+		return
+	}
+	render(http.StatusOK, report{Status: "ok"})
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -341,12 +576,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g("store_writes_total", ss.Writes)
 		g("store_corrupt_total", ss.Corrupt)
 		g("store_evicted_total", ss.Evicted)
+		g("store_orphans_total", ss.Orphans)
 		g("store_entries", int64(ss.Entries))
 		g("store_bytes", ss.Bytes)
+	}
+	if t := s.cfg.Tiered; t != nil {
+		ts := t.Stats()
+		g("tiered_disk_hits_total", ts.DiskHits)
+		g("tiered_remote_hits_total", ts.RemoteHits)
+		g("tiered_misses_total", ts.Misses)
+		g("tiered_promotions_total", ts.Promotions)
+		g("tiered_promote_errors_total", ts.PromoteErrs)
+		g("tiered_remote_save_errors_total", ts.RemoteSaveErrs)
+		g("claims_won_total", ts.ClaimsWon)
+		g("claims_lost_total", ts.ClaimsLost)
+		g("claim_wait_hits_total", ts.WaitHits)
+		g("claim_wait_timeouts_total", ts.WaitTimeouts)
+		g("claims_reclaimed_total", ts.Reclaims)
+	}
+	if c := s.cfg.Remote; c != nil {
+		rs := c.Stats()
+		g("remote_loads_total", rs.Loads)
+		g("remote_load_hits_total", rs.LoadHits)
+		g("remote_load_misses_total", rs.LoadMisses)
+		g("remote_saves_total", rs.Saves)
+		g("remote_save_errors_total", rs.SaveErrs)
+		g("remote_attempts_total", rs.Attempts)
+		g("remote_retries_total", rs.Retries)
+		g("remote_failures_total", rs.Failures)
+		g("remote_corrupt_total", rs.Corrupt)
+		g("remote_breaker_opens_total", rs.BreakerOpens)
+		g("remote_short_circuits_total", rs.ShortCircuits)
+		g("remote_breaker_state", int64(rs.State))
 	}
 	g("eval_requests_total", s.requests.Load())
 	g("eval_rejected_total", s.rejected.Load())
 	g("eval_shared_total", s.shared.Load())
+	g("eval_panics_total", s.panics.Load())
+	g("eval_timeouts_total", s.timeouts.Load())
+	g("eval_canceled_total", s.canceled.Load())
+	g("result_puts_total", s.puts.Load())
+	g("result_puts_rejected_total", s.putBad.Load())
 	g("eval_inflight", int64(len(s.jobs)))
 }
 

@@ -198,7 +198,7 @@ func TestScenariosAndHealth(t *testing.T) {
 	if !contains(reg.Evaluators, "failures") || !contains(reg.Evaluators, "mcf") {
 		t.Fatalf("evaluators missing expected kinds: %v", reg.Evaluators)
 	}
-	if status, body := get(t, hs.URL+"/healthz"); status != http.StatusOK || string(body) != "ok\n" {
+	if status, body := get(t, hs.URL+"/healthz"); status != http.StatusOK || string(body) != "{\"status\":\"ok\"}\n" {
 		t.Fatalf("healthz: %d %q", status, body)
 	}
 }

@@ -47,6 +47,18 @@ func encode(vals []float64) []byte {
 	return buf
 }
 
+// EncodeValues serializes run values into the entry format — the bytes a
+// Save would write. It is exported for transports that move entries
+// between stores verbatim (the remote-store wire format is exactly the
+// on-disk format, so the CRC travels with the values and the receiver
+// re-verifies it).
+func EncodeValues(vals []float64) []byte { return encode(vals) }
+
+// DecodeValues parses entry bytes, ok=false on any corruption, version
+// mismatch, or truncation — the receiving end of EncodeValues. A decoded
+// entry is exactly what some encode produced; garbage never parses.
+func DecodeValues(buf []byte) ([]float64, bool) { return decode(buf) }
+
 // decode parses an entry, returning ok=false on any corruption, version
 // mismatch, or truncation.
 func decode(buf []byte) ([]float64, bool) {

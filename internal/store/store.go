@@ -30,7 +30,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Store is one handle on a result-store directory. It is safe for
@@ -50,6 +52,7 @@ type Store struct {
 	writes  int64
 	corrupt int64
 	evicted int64
+	orphans int64
 
 	// loadHook, when set (tests only), runs after a Load has pinned its
 	// entry and released the lock, before the file is read — the window a
@@ -70,8 +73,12 @@ type Stats struct {
 	Writes       int64 // successful Saves
 	Corrupt      int64 // entries dropped because they failed to decode
 	Evicted      int64 // entries removed by Prune
-	Entries      int   // resident entries in the index
-	Bytes        int64 // total size of resident entries
+	// Orphans counts crashed-writer temp files garbage-collected at Open: a
+	// writer that died between CreateTemp and the publishing rename (a
+	// SIGKILL mid-Save) leaves a .tmp-* file no entry ever points to.
+	Orphans int64
+	Entries int   // resident entries in the index
+	Bytes   int64 // total size of resident entries
 }
 
 // Addr is the content address of a cache key: lowercase hex SHA-256. It
@@ -111,7 +118,19 @@ func Open(dir string) (*Store, error) {
 		shard = filepath.Clean(shard)
 		addr := shard + name
 		if len(shard) != 2 || len(addr) != 2*sha256.Size || !isHex(addr) {
-			return nil // probe leftovers, temp files, foreign junk
+			// Crashed-writer leftovers: a Save killed between CreateTemp and
+			// the publishing rename orphans a .tmp-* file. Old ones (a live
+			// writer's temp exists for milliseconds; the grace period keeps a
+			// racing process's in-flight write safe) are garbage-collected so
+			// a crash loop cannot fill the disk with invisible files.
+			if strings.HasPrefix(name, ".tmp-") {
+				if info, err := d.Info(); err == nil && time.Since(info.ModTime()) > orphanGrace {
+					if os.Remove(path) == nil {
+						s.orphans++
+					}
+				}
+			}
+			return nil // probe leftovers, live temp files, foreign junk
 		}
 		info, err := d.Info()
 		if err != nil {
@@ -130,6 +149,10 @@ func Open(dir string) (*Store, error) {
 	}
 	return s, nil
 }
+
+// orphanGrace is how old a .tmp-* file must be before Open treats it as a
+// crashed writer's orphan rather than a racing process's in-flight Save.
+const orphanGrace = time.Minute
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -226,7 +249,17 @@ func (s *Store) dropLocked(addr string, e *entry) {
 // decodable entry (last rename wins) and readers never observe a torn
 // write.
 func (s *Store) Save(key string, vals []float64) error {
-	addr := Addr(key)
+	return s.SaveAddr(Addr(key), vals)
+}
+
+// SaveAddr is Save by precomputed content address — the receiving end of
+// the service's PUT /v1/result/<key> route, where only the address is on
+// the wire. The address must be a well-formed content address; the caller
+// vouches that vals were solved under the key hashing to it.
+func (s *Store) SaveAddr(addr string, vals []float64) error {
+	if len(addr) != 2*sha256.Size || !isHex(addr) {
+		return fmt.Errorf("store: malformed content address %q", addr)
+	}
 	shard := filepath.Join(s.dir, addr[:2])
 	if err := os.MkdirAll(shard, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -317,7 +350,7 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	return Stats{
 		Hits: s.hits, Misses: s.misses, Writes: s.writes,
-		Corrupt: s.corrupt, Evicted: s.evicted,
+		Corrupt: s.corrupt, Evicted: s.evicted, Orphans: s.orphans,
 		Entries: len(s.index), Bytes: s.bytes,
 	}
 }

@@ -1,0 +1,199 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Backend is the key-value contract a Tiered remote tier must honor —
+// structurally identical to scenario.Backend, restated here so the store
+// layer does not depend on the scenario engine. Load must return false on
+// any failure (a backend surfaces absence, never wrong data); both
+// methods must be safe for concurrent use.
+type Backend interface {
+	Load(key string) ([]float64, bool)
+	Save(key string, vals []float64) error
+}
+
+// TieredOptions configures a Tiered backend's claim-based singleflight.
+type TieredOptions struct {
+	// LeaseTTL enables cross-replica claims: before solving a missed key,
+	// the replica publishes a claim with this lease; peers sharing the
+	// pool wait for the result instead of duplicating the solve, and a
+	// crashed claimant's lease expires so waiters reclaim it. 0 disables
+	// claims (every replica solves its own misses). The TTL must comfortably
+	// exceed a worst-case point solve — an expired-but-alive claimant only
+	// costs a duplicate solve, never wrong data.
+	LeaseTTL time.Duration
+	// Poll is the claim-wait probe interval (default 25ms).
+	Poll time.Duration
+	// Owner identifies this replica on claims (default "host/pid").
+	Owner string
+	// WaitCycles bounds how many consecutive lost-claim leases a Load will
+	// wait out before degrading to a local solve (default 2). The bound is
+	// the no-stall guarantee: a Load blocks at most WaitCycles lease TTLs.
+	WaitCycles int
+}
+
+// Tiered chains the local disk store with an optional remote tier into
+// one scenario.Backend: reads go disk first, then remote (a remote hit is
+// promoted — written back — to disk); writes go to disk, best-effort to
+// the remote, and release any claim held on the key. With a LeaseTTL,
+// misses coordinate through claim leases so a cold point is solved once
+// fleet-wide even when many replicas (or many goroutines in one process)
+// miss it concurrently — and a crashed claimant never wedges anyone,
+// because leases expire.
+//
+// The degradation ladder is strict: remote failure → disk; disk miss →
+// claim wait; claim churn or lease expiry → local solve. Every rung
+// degrades toward "solve it yourself", which is always correct under the
+// cache-key invariant, so a flaky fleet costs latency and duplicate work,
+// never wrong bytes and never a stall.
+type Tiered struct {
+	disk   *Store
+	remote Backend
+	opt    TieredOptions
+
+	mu    sync.Mutex
+	stats TieredStats
+}
+
+// TieredStats snapshots a Tiered backend's routing and claim activity.
+type TieredStats struct {
+	DiskHits   int64 // served from the local store
+	RemoteHits int64 // served from the remote tier
+	Misses     int64 // served from neither; caller solves
+	Promotions int64 // remote hits written back to disk
+	// PromoteErrs counts failed write-backs; the hit is still served.
+	PromoteErrs int64
+	// RemoteSaveErrs counts failed best-effort remote publications.
+	RemoteSaveErrs int64
+	ClaimsWon      int64 // leases acquired before solving
+	ClaimsLost     int64 // leases another owner held; we waited
+	WaitHits       int64 // results that appeared while waiting on a claim
+	// Reclaims counts leases that expired under a waiter — crashed or
+	// wedged claimants whose work this replica took over.
+	Reclaims int64
+	// WaitTimeouts counts Loads that exhausted WaitCycles and degraded to
+	// a local solve.
+	WaitTimeouts int64
+}
+
+// NewTiered wires a tiered backend over the local disk store and an
+// optional remote tier (nil for disk-only with claim singleflight).
+func NewTiered(disk *Store, remote Backend, opt TieredOptions) *Tiered {
+	if opt.Poll <= 0 {
+		opt.Poll = 25 * time.Millisecond
+	}
+	if opt.Owner == "" {
+		host, _ := os.Hostname()
+		opt.Owner = fmt.Sprintf("%s/%d", host, os.Getpid())
+	}
+	if opt.WaitCycles <= 0 {
+		opt.WaitCycles = 2
+	}
+	return &Tiered{disk: disk, remote: remote, opt: opt}
+}
+
+// Disk returns the local tier.
+func (t *Tiered) Disk() *Store { return t.disk }
+
+func (t *Tiered) count(f func(*TieredStats)) {
+	t.mu.Lock()
+	f(&t.stats)
+	t.mu.Unlock()
+}
+
+// Load implements Backend/scenario.Backend over the tiers. A false return
+// means the caller should solve — and, when claims are enabled, that this
+// replica holds the solve lease (or waiting it out was exhausted).
+func (t *Tiered) Load(key string) ([]float64, bool) {
+	addr := Addr(key)
+	if vals, ok := t.disk.LoadAddr(addr); ok {
+		t.count(func(s *TieredStats) { s.DiskHits++ })
+		return vals, true
+	}
+	if t.remote != nil {
+		if vals, ok := t.remote.Load(key); ok {
+			// Write-back promotion: the next miss on this replica (or any
+			// pool peer) is a disk hit even if the remote is down by then.
+			if err := t.disk.SaveAddr(addr, vals); err != nil {
+				t.count(func(s *TieredStats) { s.RemoteHits++; s.PromoteErrs++ })
+			} else {
+				t.count(func(s *TieredStats) { s.RemoteHits++; s.Promotions++ })
+			}
+			return vals, true
+		}
+	}
+	if t.opt.LeaseTTL <= 0 {
+		t.count(func(s *TieredStats) { s.Misses++ })
+		return nil, false
+	}
+	// Claim-based singleflight: win the lease and solve, or wait for the
+	// holder's result. Both waiting and reclaiming are bounded, so this
+	// path can never stall a solve indefinitely.
+	for cycle := 0; cycle < t.opt.WaitCycles; cycle++ {
+		if cycle > 0 {
+			// A previous holder may have published between our last poll and
+			// now; re-check before contending for the lease.
+			if vals, ok := t.disk.LoadAddr(addr); ok {
+				t.count(func(s *TieredStats) { s.WaitHits++ })
+				return vals, true
+			}
+		}
+		won, deadline := t.disk.Claim(addr, t.opt.Owner, t.opt.LeaseTTL)
+		if won {
+			t.count(func(s *TieredStats) { s.ClaimsWon++; s.Misses++ })
+			return nil, false
+		}
+		t.count(func(s *TieredStats) { s.ClaimsLost++ })
+		released := false
+		for time.Now().Before(deadline) {
+			time.Sleep(t.opt.Poll)
+			if vals, ok := t.disk.LoadAddr(addr); ok {
+				t.count(func(s *TieredStats) { s.WaitHits++ })
+				return vals, true
+			}
+			if _, _, ok := t.disk.ClaimHolder(addr); !ok {
+				// The holder released without publishing (its solve failed):
+				// stop waiting and contend for the lease ourselves.
+				released = true
+				break
+			}
+		}
+		if !released {
+			// The lease ran out under us: the claimant crashed or wedged.
+			t.count(func(s *TieredStats) { s.Reclaims++ })
+		}
+	}
+	t.count(func(s *TieredStats) { s.WaitTimeouts++; s.Misses++ })
+	return nil, false
+}
+
+// Save publishes to disk, best-effort to the remote tier, and releases
+// this replica's claim on the key (waiters see the result on their next
+// poll). The disk write's error is the authoritative one; remote failures
+// are counted, never raised — mirroring the cache's durability-is-best-
+// effort rule.
+func (t *Tiered) Save(key string, vals []float64) error {
+	addr := Addr(key)
+	err := t.disk.SaveAddr(addr, vals)
+	if t.remote != nil {
+		if rerr := t.remote.Save(key, vals); rerr != nil {
+			t.count(func(s *TieredStats) { s.RemoteSaveErrs++ })
+		}
+	}
+	if t.opt.LeaseTTL > 0 {
+		t.disk.Unclaim(addr, t.opt.Owner)
+	}
+	return err
+}
+
+// Stats snapshots the tiered backend's counters.
+func (t *Tiered) Stats() TieredStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
