@@ -10,6 +10,15 @@
 //	topobench -scenario "..." -json -cache-dir ~/.cache/topobench
 //	topobench -scenario-list
 //	topobench serve -addr :8080 -cache-dir /var/lib/topobench [-jobs 8] [-store-max-bytes 1e9]
+//	topobench submit -server http://127.0.0.1:8080 -grid "topo=... traffic=... eval=..." [-o out.json]
+//	topobench submit -server http://127.0.0.1:8080 -job <id>
+//
+// The submit subcommand drives the serve daemon's async job API
+// (POST /v1/jobs): the grid is submitted as a detached job, progress is
+// polled (and printed to stderr), and the finished canonical JSON — the
+// same bytes a synchronous /v1/eval would return — is written out. With
+// -job, an existing job (e.g. one submitted before a server restart) is
+// re-polled to completion instead.
 //
 // With -cache-dir, the content-addressed solve cache is tiered onto a
 // persistent result store (internal/store): results computed by ANY
@@ -55,6 +64,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "submit" {
+		runSubmit(os.Args[2:])
 		return
 	}
 	var (

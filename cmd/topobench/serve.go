@@ -41,9 +41,15 @@ func runServe(args []string) {
 		faultSpec  = fs.String("fault-inject", "", "inject faults into peer traffic, e.g. \"seed=7,error=0.2,corrupt=0.05\" (testing)")
 		lease      = fs.Duration("claim-lease", 0, "claim-lease TTL for fleet-wide solve dedup on a shared -cache-dir (0 = off)")
 		reqTimeout = fs.Duration("request-timeout", 0, "per-evaluation wall-clock bound; expiry answers 504 (0 = unbounded)")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-async-job evaluation wall-clock bound (0 = unbounded)")
+		jobRetain  = fs.Duration("job-retain", 24*time.Hour, "how long finished async-job records are kept before the startup sweep discards them")
+		jobQueue   = fs.Int("job-queue", 0, "max async jobs resident before submissions get 429 (0 = 16*jobs)")
 	)
 	fs.Parse(args)
 
+	if err := validateServeFlags(*cacheDir, *lease); err != nil {
+		fatal(err)
+	}
 	runner.SetMaxInFlight(*workers)
 	cache := scenario.NewCache()
 	var st *store.Store
@@ -89,7 +95,13 @@ func runServe(args []string) {
 		MaxJobs: *jobs, StoreMaxBytes: *maxBytes,
 		Remote: remote, Tiered: tiered,
 		RequestTimeout: *reqTimeout,
+		JobTimeout:     *jobTimeout,
+		JobRetain:      *jobRetain,
+		MaxQueuedJobs:  *jobQueue,
 	})
+	if n := svc.RecoverJobs(); n > 0 {
+		fmt.Fprintf(os.Stderr, "topobench serve: recovered %d async jobs from %s\n", n, *cacheDir)
+	}
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, drain in-flight
@@ -128,6 +140,18 @@ func runServe(args []string) {
 		fmt.Fprintf(os.Stderr, "remote %s: %d/%d load hits, %d saves (%d errors), %d retries, %d failures, %d breaker opens, breaker %s\n",
 			remote.BaseURL(), rs.LoadHits, rs.Loads, rs.Saves, rs.SaveErrs, rs.Retries, rs.Failures, rs.BreakerOpens, rs.State)
 	}
+}
+
+// validateServeFlags rejects flag combinations that would silently
+// disable what the operator asked for. -claim-lease coordinates solves
+// through lease files under -cache-dir; without a cache dir there is
+// nowhere to put them, and ignoring the flag (the old behavior) left
+// fleets believing they had solve dedup when every replica solved alone.
+func validateServeFlags(cacheDir string, lease time.Duration) error {
+	if lease > 0 && cacheDir == "" {
+		return fmt.Errorf("-claim-lease requires -cache-dir: claim leases live in the result-store directory")
+	}
+	return nil
 }
 
 // printCacheStats reports the tiered cache and store activity — the

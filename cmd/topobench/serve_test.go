@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestValidateServeFlags pins the -claim-lease/-cache-dir coupling: claim
+// leases live in the result-store directory, so asking for leases without
+// a store must fail fast at startup instead of being silently ignored
+// (the pre-fix behavior — the flag parsed fine and did nothing).
+func TestValidateServeFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		cacheDir string
+		lease    time.Duration
+		wantErr  bool
+	}{
+		{"lease without store rejected", "", 30 * time.Second, true},
+		{"lease with store ok", "/tmp/cache", 30 * time.Second, false},
+		{"no lease no store ok", "", 0, false},
+		{"no lease with store ok", "/tmp/cache", 0, false},
+	}
+	for _, c := range cases {
+		err := validateServeFlags(c.cacheDir, c.lease)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: validateServeFlags(%q, %v) = %v, wantErr=%v",
+				c.name, c.cacheDir, c.lease, err, c.wantErr)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// runSubmit is the `topobench submit` subcommand: the client side of the
+// serve daemon's async job API. It submits a grid as a detached job (or
+// re-attaches to an existing job id with -job), polls its progress, and
+// writes the finished canonical JSON — byte-identical to a synchronous
+// POST /v1/eval for the same grid. SIGINT/SIGTERM cancels the job
+// server-side before exiting, so an abandoned submit does not leave a
+// solve burning.
+func runSubmit(args []string) {
+	fs := flag.NewFlagSet("topobench submit", flag.ExitOnError)
+	var (
+		server   = fs.String("server", "http://127.0.0.1:8080", "serve daemon base URL")
+		grid     = fs.String("grid", "", "scenario grid line to submit")
+		jobID    = fs.String("job", "", "existing job id to poll instead of submitting")
+		interval = fs.Duration("interval", 500*time.Millisecond, "poll interval")
+		timeout  = fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+		out      = fs.String("o", "", "output file for the result JSON (default stdout)")
+	)
+	fs.Parse(args)
+	base := strings.TrimRight(*server, "/")
+
+	id := *jobID
+	if id == "" {
+		if strings.TrimSpace(*grid) == "" {
+			fatal(fmt.Errorf("submit needs -grid (or -job to poll an existing job)"))
+		}
+		var err error
+		id, err = submitJob(base, *grid)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "topobench submit: job %s\n", id)
+	}
+
+	// Cancel the job server-side on interrupt: a detached solve nobody
+	// will ever poll again should stop burning solver time.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+		if err == nil {
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}
+		fmt.Fprintf(os.Stderr, "topobench submit: canceled job %s\n", id)
+		os.Exit(1)
+	}()
+
+	body, err := pollJob(base, id, *interval, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(body); err != nil {
+		fatal(err)
+	}
+}
+
+// submitJob POSTs the grid and returns the assigned job id.
+func submitJob(base, grid string) (string, error) {
+	reqBody, _ := json.Marshal(struct {
+		Grid string `json:"grid"`
+	}{grid})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submitting job: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var acc struct {
+		Job string `json:"job"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil || acc.Job == "" {
+		return "", fmt.Errorf("submitting job: malformed accept body %q", string(body))
+	}
+	return acc.Job, nil
+}
+
+// pollJob polls the job's status until it is terminal and returns the
+// result bytes (for done jobs) or an error carrying the recorded failure.
+func pollJob(base, id string, interval, timeout time.Duration) ([]byte, error) {
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	lastDone := uint32(0)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			// A restarting server answers again soon; polling rides it out
+			// (the job record survives the restart).
+			fmt.Fprintf(os.Stderr, "topobench submit: poll: %v (retrying)\n", err)
+		} else {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusNotFound {
+				return nil, fmt.Errorf("job %s: %s", id, strings.TrimSpace(string(body)))
+			}
+			var st struct {
+				State string `json:"state"`
+				Done  uint32 `json:"done"`
+				Total uint32 `json:"total"`
+				Error string `json:"error"`
+			}
+			if resp.StatusCode == http.StatusOK && json.Unmarshal(body, &st) == nil {
+				if st.Done != lastDone {
+					lastDone = st.Done
+					fmt.Fprintf(os.Stderr, "topobench submit: %s %d/%d points\n", st.State, st.Done, st.Total)
+				}
+				switch st.State {
+				case "done":
+					if b, ok, err := fetchResult(base, id); err != nil {
+						return nil, err
+					} else if ok {
+						return b, nil
+					}
+					// 202: the replay is still materializing bytes; keep polling.
+				case "failed", "canceled":
+					return nil, fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+				}
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s: gave up after %s", id, timeout)
+		}
+		time.Sleep(interval)
+	}
+}
+
+// fetchResult GETs the finished bytes; ok=false means the server answered
+// 202 (result not yet resident) and the caller should keep polling.
+func fetchResult(base, id string) ([]byte, bool, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, false, nil // transient; outer loop retries
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, false, nil
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return body, true, nil
+	case http.StatusAccepted:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("job %s result: %s: %s", id, resp.Status, strings.TrimSpace(string(body)))
+	}
+}

@@ -55,7 +55,15 @@
 // cache/store/request counters. Responses are canonically marshaled: a
 // warm replay — same process or a restart over the same cache dir — is
 // byte-identical to the cold response, and `topobench -scenario -json`
-// emits the same bytes from the command line.
+// emits the same bytes from the command line. Long grids go through the
+// async job API instead of holding a connection: POST /v1/jobs answers
+// 202 with a poll URL, job records persist in the result store (TBRJ
+// codec, same corruption-tolerance rule as results — a lost or corrupt
+// record means "unknown job, resubmit", never a wedge), progress and
+// the final canonical bytes are served from GET /v1/jobs/<id>[/result],
+// and a restarted daemon recovers its jobs — re-dispatching unfinished
+// ones and replaying finished ones byte-identically from the warm
+// store. `topobench submit` is the submit/poll/fetch client.
 //
 // # Fault-tolerant distributed evaluation
 //

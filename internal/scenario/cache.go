@@ -113,6 +113,27 @@ func (c *Cache) Get(key string) ([]float64, bool) {
 	return nil, false
 }
 
+// BackendAbandoner is the optional backend extension for abandoned
+// solves: a backend that coordinates misses through claim leases (the
+// store's Tiered) implements Abandon to release the lease on a key whose
+// solve produced nothing to Put — errored, canceled, or infeasible.
+type BackendAbandoner interface {
+	Abandon(key string)
+}
+
+// Abandon tells the backend, if it cares, that the solve for key ended
+// without a value. For plain backends this is a no-op; for claim-holding
+// tiers it releases the lease immediately instead of parking fleet peers
+// until it expires.
+func (c *Cache) Abandon(key string) {
+	c.mu.Lock()
+	backend := c.backend
+	c.mu.Unlock()
+	if a, ok := backend.(BackendAbandoner); ok {
+		a.Abandon(key)
+	}
+}
+
 // Put stores the run values under key, writing through to the backend
 // when one is attached.
 func (c *Cache) Put(key string, vals []float64) {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/hetero"
 	"repro/internal/rrg"
@@ -132,6 +133,26 @@ func (e *Engine) MeasureRuns(pts []Point) ([][]float64, error) {
 // each request's context here so a dropped client stops burning solver
 // time instead of holding a queue slot to completion.
 func (e *Engine) MeasureRunsCtx(ctx context.Context, pts []Point) ([][]float64, error) {
+	return e.MeasureRunsProgress(ctx, pts, nil)
+}
+
+// ProgressFunc observes grid progress: done points completed out of total.
+// Calls arrive from worker goroutines (serialized per call site, but the
+// callback must be safe against concurrent invocation) and must be cheap —
+// a slow callback stalls point completion.
+type ProgressFunc func(done, total int)
+
+// MeasureRunsProgress is MeasureRunsCtx with a per-point progress
+// callback: progress(0, n) fires before evaluation starts, then
+// progress(k, n) after each point completes (cache hits and infeasible
+// skips count — every point resolves exactly once). The async job API
+// threads its progress persistence through here. A nil progress is
+// MeasureRunsCtx exactly.
+func (e *Engine) MeasureRunsProgress(ctx context.Context, pts []Point, progress ProgressFunc) ([][]float64, error) {
+	var completed atomic.Int64
+	if progress != nil {
+		progress(0, len(pts))
+	}
 	vals, err := runner.Map(e.pool(), len(pts), func(i int) ([]float64, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -144,6 +165,9 @@ func (e *Engine) MeasureRunsCtx(ctx context.Context, pts []Point) ([][]float64, 
 				return nil, cerr
 			}
 			return nil, fmt.Errorf("scenario: point %d (%s): %w", i, pts[i].Key(), err)
+		}
+		if progress != nil {
+			progress(int(completed.Add(1)), len(pts))
 		}
 		return vals, nil
 	})
@@ -178,6 +202,12 @@ func (e *Engine) runPoint(ctx context.Context, p Point) ([]float64, error) {
 		return v, err
 	})
 	if err != nil {
+		// No Put will follow, so release any claim lease Get acquired for
+		// this key — a failed, canceled, or infeasible solve must not park
+		// fleet peers until the lease expires.
+		if e.Cache != nil && key != "" {
+			e.Cache.Abandon(key)
+		}
 		if e.SkipInfeasible && infeasible(err) {
 			return nil, nil
 		}

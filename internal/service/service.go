@@ -8,6 +8,17 @@
 //	POST /v1/eval          {"grid": "topo=... traffic=... eval=... sweep=..."}
 //	                       → EvalResponse: per-point coords, content
 //	                       address, summary stats, and raw run values.
+//	POST /v1/jobs          same body → 202 {"job": id, "poll": path}: the
+//	                       grid evaluates asynchronously; the job record
+//	                       is persisted in the result store and survives
+//	                       restart (see handleSubmitJob in jobs.go).
+//	GET  /v1/jobs/<id>     job status: state, progress (done/total
+//	                       points), result address once done.
+//	GET  /v1/jobs/<id>/result
+//	                       the finished job's canonical EvalResponse
+//	                       bytes (202 + status while still running).
+//	DELETE /v1/jobs/<id>   cancel a running job (202) or discard a
+//	                       terminal one (204).
 //	GET  /v1/result/<key>  one stored result by content address (hex
 //	                       SHA-256 of the point key) → 404 if absent.
 //	GET  /v1/scenarios     the three registries (topologies, traffics,
@@ -86,6 +97,17 @@ type Config struct {
 	// acquired or released before /healthz reports wedged (503).
 	// 0 means 5 minutes.
 	WedgeAfter time.Duration
+	// JobTimeout bounds one async job's evaluation wall clock (0 =
+	// unbounded). Async jobs deliberately do NOT inherit RequestTimeout:
+	// outliving a connection-scale deadline is their reason to exist.
+	JobTimeout time.Duration
+	// JobRetain is how long a terminal job's record is kept before the
+	// recovery sweep discards it. 0 means 24 hours.
+	JobRetain time.Duration
+	// MaxQueuedJobs bounds async jobs resident at once (queued + running +
+	// finished-but-retained); submissions beyond it get 429. <= 0 means
+	// 16·MaxJobs.
+	MaxQueuedJobs int
 }
 
 // Server handles the evaluation API. Create with New.
@@ -95,6 +117,22 @@ type Server struct {
 
 	mu      sync.Mutex
 	flights map[string]*flight
+
+	// jobsMu guards jobTab, the in-memory registry of async jobs (the
+	// durable truth lives in the store's job records; jobTab adds the live
+	// cancel funcs and resident result bytes).
+	jobsMu sync.Mutex
+	jobTab map[string]*job
+
+	jobsSubmitted      atomic.Int64
+	jobsDone           atomic.Int64
+	jobsFailed         atomic.Int64
+	jobsCanceled       atomic.Int64
+	jobsRejected       atomic.Int64
+	jobsRecovered      atomic.Int64
+	jobsReplayed       atomic.Int64
+	jobsReplayMismatch atomic.Int64
+	jobsUnknown        atomic.Int64
 
 	requests atomic.Int64
 	rejected atomic.Int64
@@ -160,10 +198,17 @@ func New(cfg Config) *Server {
 	if cfg.WedgeAfter <= 0 {
 		cfg.WedgeAfter = 5 * time.Minute
 	}
+	if cfg.JobRetain <= 0 {
+		cfg.JobRetain = 24 * time.Hour
+	}
+	if cfg.MaxQueuedJobs <= 0 {
+		cfg.MaxQueuedJobs = 16 * cfg.MaxJobs
+	}
 	s := &Server{
 		cfg:     cfg,
 		jobs:    make(chan struct{}, cfg.MaxJobs),
 		flights: map[string]*flight{},
+		jobTab:  map[string]*job{},
 	}
 	s.lastSlot.Store(time.Now().UnixNano())
 	return s
@@ -175,6 +220,10 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/eval", s.handleEval)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
 	mux.HandleFunc("PUT /v1/result/{key}", s.handlePutResult)
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
@@ -258,6 +307,14 @@ func EvalGrid(eng *scenario.Engine, line string, def Defaults) (*EvalResponse, e
 // phase boundary) and returns the context's error. A canceled evaluation
 // stores nothing, so re-requesting the grid re-solves cleanly.
 func EvalGridCtx(ctx context.Context, eng *scenario.Engine, line string, def Defaults) (*EvalResponse, error) {
+	return EvalGridProgress(ctx, eng, line, def, nil)
+}
+
+// EvalGridProgress is EvalGridCtx with a per-point progress callback
+// (see scenario.MeasureRunsProgress) — the async job API's hook for
+// persisting job progress as the grid advances. nil progress is
+// EvalGridCtx exactly.
+func EvalGridProgress(ctx context.Context, eng *scenario.Engine, line string, def Defaults, progress scenario.ProgressFunc) (*EvalResponse, error) {
 	line = strings.Join(strings.Fields(line), " ")
 	grid, err := scenario.ParseGrid(line)
 	if err != nil {
@@ -283,7 +340,7 @@ func EvalGridCtx(ctx context.Context, eng *scenario.Engine, line string, def Def
 	for i, gp := range gps {
 		pts[i] = gp.Point
 	}
-	vals, err := eng.MeasureRunsCtx(ctx, pts)
+	vals, err := eng.MeasureRunsProgress(ctx, pts, progress)
 	if err != nil {
 		return nil, err
 	}
@@ -313,6 +370,10 @@ func (r *EvalResponse) MarshalCanonical() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// errQueueFull is evalShared's non-blocking admission refusal; handleEval
+// maps it to 429.
+var errQueueFull = errors.New("evaluation queue full")
+
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	var req EvalRequest
@@ -325,57 +386,113 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := strings.Join(strings.Fields(req.Grid), " ")
-
-	s.mu.Lock()
-	if f, ok := s.flights[key]; ok {
-		// An identical grid is already evaluating: wait for its bytes
-		// instead of competing for a job slot. Attaching keeps the solve
-		// alive even if its originating client hangs up first.
-		f.attach(r.Context())
-		s.mu.Unlock()
-		s.shared.Add(1)
-		<-f.done
-		writeBytes(w, f.status, f.body)
-		return
-	}
-	select {
-	case s.jobs <- struct{}{}:
-		s.lastSlot.Store(time.Now().UnixNano())
-	default:
-		s.mu.Unlock()
+	status, body, err := s.evalShared(r.Context(), key, false, s.cfg.RequestTimeout, nil)
+	if err != nil {
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("evaluation queue full (%d jobs in flight)", cap(s.jobs)))
 		return
 	}
-	f := newFlight(s.cfg.RequestTimeout)
-	f.attach(r.Context())
-	s.flights[key] = f
-	s.mu.Unlock()
+	writeBytes(w, status, body)
+}
 
-	// Cleanup must survive a panicking evaluation (net/http recovers
-	// handler panics): an undeleted flight would wedge every future
-	// request for this grid on <-f.done, and an unreleased job slot would
-	// shrink the queue permanently.
-	defer func() {
+// evalShared runs one deduplicated grid evaluation on behalf of a caller
+// — a synchronous /v1/eval request or an async job — and returns its
+// status and canonical bytes. Identical keys share one flight; ctx is the
+// caller's lifetime (detaching the last caller cancels the solve).
+//
+// block selects the admission policy when every job slot is taken:
+// synchronous requests refuse immediately (errQueueFull → 429), jobs wait
+// for a slot (they already answered 202; holding a goroutine is cheap,
+// holding a connection was the problem). The only other error is the
+// caller's own ctx expiring while waiting.
+//
+// Two flight-lifecycle rules live here rather than in the handler:
+//
+//   - Never attach to a canceled flight. A flight whose waiters all
+//     disconnected cancels its context but stays in the map until its
+//     leader's cleanup runs; attaching in that window would replay the
+//     cached 499 "all clients disconnected" body to a live client. Such a
+//     flight is treated as absent — the newcomer leads a fresh one (the
+//     map slot is overwritten; the old leader's cleanup only deletes its
+//     own flight).
+//   - Re-dispatch after losing this race anyway. An attacher that was
+//     tied to a flight before its cancellation still wakes to a 499; if
+//     its own ctx is live, it loops and re-dispatches instead of
+//     forwarding a disconnect it did not suffer.
+func (s *Server) evalShared(ctx context.Context, key string, block bool, timeout time.Duration, progress scenario.ProgressFunc) (int, []byte, error) {
+	for {
 		s.mu.Lock()
-		delete(s.flights, key)
+		if f, ok := s.flights[key]; ok && f.ctx.Err() == nil {
+			// An identical grid is already evaluating: wait for its bytes
+			// instead of competing for a job slot. Attaching keeps the solve
+			// alive even if its originating client hangs up first.
+			f.attach(ctx)
+			s.mu.Unlock()
+			s.shared.Add(1)
+			<-f.done
+			if f.status == 499 && ctx.Err() == nil {
+				continue
+			}
+			return f.status, f.body, nil
+		}
+		select {
+		case s.jobs <- struct{}{}:
+			s.lastSlot.Store(time.Now().UnixNano())
+		default:
+			s.mu.Unlock()
+			if !block {
+				return 0, nil, errQueueFull
+			}
+			// Blocking acquisition happens outside the lock (a full queue
+			// must not wedge every handler). The slot is released right away
+			// and the loop re-checks the flight table: a flight for this key
+			// may have appeared while waiting, and attaching to it beats
+			// leading a duplicate.
+			select {
+			case s.jobs <- struct{}{}:
+				s.lastSlot.Store(time.Now().UnixNano())
+				<-s.jobs
+				s.lastSlot.Store(time.Now().UnixNano())
+				continue
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			}
+		}
+		f := newFlight(timeout)
+		f.attach(ctx)
+		s.flights[key] = f
 		s.mu.Unlock()
-		close(f.done)
-		f.cancel()
-		<-s.jobs
-		s.lastSlot.Store(time.Now().UnixNano())
-	}()
-	f.status, f.body = s.evaluate(f.ctx, key)
-	writeBytes(w, f.status, f.body)
+
+		// Cleanup must survive a panicking evaluation: an undeleted flight
+		// would wedge every future request for this grid on <-f.done, and an
+		// unreleased job slot would shrink the queue permanently. The delete
+		// compares first — a canceled flight may already have been replaced
+		// by a successor's, which must not be torn down with it.
+		func() {
+			defer func() {
+				s.mu.Lock()
+				if s.flights[key] == f {
+					delete(s.flights, key)
+				}
+				s.mu.Unlock()
+				close(f.done)
+				f.cancel()
+				<-s.jobs
+				s.lastSlot.Store(time.Now().UnixNano())
+			}()
+			f.status, f.body = s.evaluate(f.ctx, key, progress)
+		}()
+		return f.status, f.body, nil
+	}
 }
 
 // evaluate runs one deduplicated grid evaluation and renders its bytes.
 // A panicking evaluator is reported as a 500, not a dropped connection;
 // cancellation and deadline expiry get their own statuses so callers can
 // tell an aborted solve from a broken one.
-func (s *Server) evaluate(ctx context.Context, line string) (status int, body []byte) {
+func (s *Server) evaluate(ctx context.Context, line string, progress scenario.ProgressFunc) (status int, body []byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
@@ -383,7 +500,7 @@ func (s *Server) evaluate(ctx context.Context, line string) (status int, body []
 			body = errorBody(fmt.Errorf("evaluation panicked: %v", r))
 		}
 	}()
-	resp, err := EvalGridCtx(ctx, s.cfg.Engine, line, s.cfg.Defaults)
+	resp, err := EvalGridProgress(ctx, s.cfg.Engine, line, s.cfg.Defaults, progress)
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -609,6 +726,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g("remote_short_circuits_total", rs.ShortCircuits)
 		g("remote_breaker_state", int64(rs.State))
 	}
+	if t := s.cfg.Tiered; t != nil {
+		g("claims_abandoned_total", t.Stats().Abandons)
+	}
+	g("jobs_submitted_total", s.jobsSubmitted.Load())
+	g("jobs_done_total", s.jobsDone.Load())
+	g("jobs_failed_total", s.jobsFailed.Load())
+	g("jobs_canceled_total", s.jobsCanceled.Load())
+	g("jobs_rejected_total", s.jobsRejected.Load())
+	g("jobs_recovered_total", s.jobsRecovered.Load())
+	g("jobs_replayed_total", s.jobsReplayed.Load())
+	g("jobs_replay_mismatch_total", s.jobsReplayMismatch.Load())
+	g("jobs_unknown_total", s.jobsUnknown.Load())
+	g("jobs_resident", int64(s.jobCount()))
 	g("eval_requests_total", s.requests.Load())
 	g("eval_rejected_total", s.rejected.Load())
 	g("eval_shared_total", s.shared.Load())

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -81,7 +82,12 @@ func (s *Store) Claim(addr, owner string, ttl time.Duration) (won bool, deadline
 // exists. Callers must still check the deadline: an expired claim is a
 // crashed claimant, not an active solve.
 func (s *Store) ClaimHolder(addr string) (owner string, deadline time.Time, ok bool) {
-	buf, err := os.ReadFile(s.claimPath(addr))
+	return readClaim(s.claimPath(addr))
+}
+
+// readClaim parses the claim file at path ("owner\ndeadline-nanos\n").
+func readClaim(path string) (owner string, deadline time.Time, ok bool) {
+	buf, err := os.ReadFile(path)
 	if err != nil {
 		return "", time.Time{}, false
 	}
@@ -96,12 +102,42 @@ func (s *Store) ClaimHolder(addr string) (owner string, deadline time.Time, ok b
 	return lines[0], time.Unix(0, ns), true
 }
 
+// unclaimSeq makes each release's private rename target unique within the
+// process; the pid in the name distinguishes processes sharing a pool.
+var unclaimSeq atomic.Int64
+
 // Unclaim releases addr's claim if owner still holds it. Releasing a
-// claim another owner reclaimed in the meantime is a no-op, so a slow
-// claimant cannot strip a successor's lease.
+// claim another owner reclaimed in the meantime must be a no-op — a slow
+// ex-claimant cannot strip a successor's lease.
+//
+// Release is atomic: the claim file is renamed to a private name first
+// (taking whatever lease currently holds the name out of circulation in
+// one step), THEN its owner is verified, and it is deleted only if it was
+// ours. A holder-check-then-remove sequence would race: between the check
+// reading our own stale claim and the remove, a successor can reclaim the
+// expired lease, and the remove then deletes the successor's fresh claim
+// unseen. With rename-first, the file we verify is exactly the file we
+// took; a successor's lease renamed by mistake is put back via link(2)
+// (which refuses to clobber an even newer claim).
 func (s *Store) Unclaim(addr, owner string) {
-	holder, _, ok := s.ClaimHolder(addr)
-	if ok && holder == owner {
-		os.Remove(s.claimPath(addr))
+	path := s.claimPath(addr)
+	priv := filepath.Join(s.dir, claimsDir,
+		fmt.Sprintf(".tmp-rel-%d-%d", os.Getpid(), unclaimSeq.Add(1)))
+	if err := os.Rename(path, priv); err != nil {
+		return // no claim to release (or lost the race to one)
 	}
+	if s.unclaimHook != nil {
+		s.unclaimHook()
+	}
+	holder, _, ok := readClaim(priv)
+	if ok && holder == owner {
+		os.Remove(priv)
+		return
+	}
+	// Not ours: a successor's live lease. Restore it — unless an even
+	// newer claim took the name in the window, in which case our copy is
+	// stale and is simply dropped (duplicate work at worst, never a
+	// stripped lease plus a wedge: the displaced claimant still solves).
+	os.Link(priv, path)
+	os.Remove(priv)
 }

@@ -58,6 +58,14 @@ type Store struct {
 	// entry and released the lock, before the file is read — the window a
 	// concurrent Prune must not evict in.
 	loadHook func()
+	// pruneHook, when set (tests only), runs per victim after Prune's
+	// selection pass has released the lock, before the victim's removal —
+	// the window in which a concurrent Save may re-publish the entry.
+	pruneHook func(addr string)
+	// unclaimHook, when set (tests only), runs inside Unclaim after the
+	// release has observed the claim file, before it decides to delete —
+	// the window in which a successor may reclaim an expired lease.
+	unclaimHook func()
 }
 
 type entry struct {
@@ -278,13 +286,19 @@ func (s *Store) SaveAddr(addr string, vals []float64) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+
+	// The publishing rename happens under the store lock, together with
+	// the index insert: file-at-addr and index[addr] change as one step
+	// with respect to Prune, whose removals re-verify the index under the
+	// same lock. A rename outside the lock would let a Prune that already
+	// selected this addr as a victim unlink the freshly renamed file
+	// before the index insert lands, orphaning the entry.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := os.Rename(tmp.Name(), s.path(addr)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.writes++
 	s.clock++
 	if e, ok := s.index[addr]; ok {
@@ -304,11 +318,15 @@ func (s *Store) SaveAddr(addr string, vals []float64) error {
 // before the prune always completes against its bytes (or, if another
 // process already replaced the file, decodes the complete replacement).
 //
-// Victims are selected in one sorted pass and unlinked outside the store
-// lock, so concurrent lookups see at most an O(n log n) selection stall,
-// never per-file syscall latency. A Load racing an unlink (possible only
-// through the filesystem-adoption fallback) reads either the complete
-// entry or a clean miss.
+// Victims are selected in one sorted pass under the lock; each unlink
+// then re-acquires the lock briefly and re-verifies the victim is still
+// absent from the index before removing its file. The re-check closes the
+// re-publish race: a Save racing the prune re-inserts the entry (rename +
+// index insert are one locked step), so the prune sees it under the lock
+// and keeps the fresh file — a selected-then-re-saved entry survives with
+// its new bytes instead of leaving an orphaned index entry behind.
+// Concurrent lookups see at most an O(n log n) selection stall plus
+// per-victim lock handoffs, never one long syscall-laden critical section.
 func (s *Store) Prune(maxBytes int64) int {
 	s.mu.Lock()
 	if s.bytes <= maxBytes {
@@ -338,10 +356,24 @@ func (s *Store) Prune(maxBytes int64) int {
 		evict = append(evict, v.addr)
 	}
 	s.mu.Unlock()
+	removed := 0
 	for _, addr := range evict {
-		os.Remove(s.path(addr))
+		if s.pruneHook != nil {
+			s.pruneHook(addr)
+		}
+		s.mu.Lock()
+		if _, resaved := s.index[addr]; resaved {
+			// A concurrent Save re-published this entry after victim
+			// selection: it is current again, not garbage. Keep the file
+			// and take the eviction back out of the stats.
+			s.evicted--
+		} else {
+			os.Remove(s.path(addr))
+			removed++
+		}
+		s.mu.Unlock()
 	}
-	return len(evict)
+	return removed
 }
 
 // Stats snapshots the handle's counters and resident state.

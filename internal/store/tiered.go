@@ -79,6 +79,10 @@ type TieredStats struct {
 	// WaitTimeouts counts Loads that exhausted WaitCycles and degraded to
 	// a local solve.
 	WaitTimeouts int64
+	// Abandons counts claims released without a result — failed, canceled,
+	// or infeasible solves whose lease would otherwise park waiters for a
+	// full TTL.
+	Abandons int64
 }
 
 // NewTiered wires a tiered backend over the local disk store and an
@@ -189,6 +193,20 @@ func (t *Tiered) Save(key string, vals []float64) error {
 		t.disk.Unclaim(addr, t.opt.Owner)
 	}
 	return err
+}
+
+// Abandon releases this replica's claim on a key whose solve produced no
+// result — it errored, was canceled, or the point was infeasible. Save
+// never runs for such a solve, so without this release the claim would
+// park every fleet peer waiting on the key for the full lease TTL.
+// Unclaim is owner-verified, so abandoning a claim this replica does not
+// hold (a wait-timeout miss, say) is a safe no-op.
+func (t *Tiered) Abandon(key string) {
+	if t.opt.LeaseTTL <= 0 {
+		return
+	}
+	t.disk.Unclaim(Addr(key), t.opt.Owner)
+	t.count(func(s *TieredStats) { s.Abandons++ })
 }
 
 // Stats snapshots the tiered backend's counters.
