@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	benchjson [-o dir] [-benchtime 1s] [-baseline BENCH_x.json] [-gate name=pct,...]
+//	benchjson [-o dir] [-benchtime 1s] [-load-duration 2s]
+//	          [-baseline BENCH_x.json] [-gate name=pct,...]
 //
 // The snapshot covers the flow solver (scale, epsilon, repair-vs-rebuild,
 // prebuild staleness-margin, and phase-parallel worker-scaling ablations),
@@ -13,16 +14,23 @@
 // sweep), the persistent result store (cold process vs warm restart over
 // a primed store directory), the remote store client (a Load round trip
 // against a warm peer, clean vs through the chaos injector), the
-// bisection-bandwidth estimator, and two representative figure runners in
-// quick mode (one grid-heavy, one decomposition-heavy).
+// bisection-bandwidth estimator, two representative figure runners in
+// quick mode (one grid-heavy, one decomposition-heavy), and the serve
+// dataplane: ServeEvalWarm (one warm POST /v1/eval through the handler
+// stack — the response-byte-cache hit path, allocs/op and all) plus
+// ServeLoad/{warm,mixed}/{p50,p99} from the deterministic open-loop load
+// generator (internal/loadgen) against an in-process daemon.
 //
 // With -baseline, the fresh snapshot is compared entry-by-entry against a
 // committed earlier snapshot; -gate turns selected comparisons into hard
 // failures, e.g. -gate "SolverScale/n=80=25" exits non-zero if that
-// benchmark's ns/op regressed more than 25% — the CI perf gate.
+// benchmark's ns/op — or, when the baseline recorded allocations, its
+// allocs/op — regressed more than 25% — the CI perf gate.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,12 +49,14 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
+	"repro/internal/loadgen"
 	"repro/internal/maxflow"
 	"repro/internal/mcf"
 	"repro/internal/remotestore"
 	"repro/internal/rrg"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/traffic"
 )
@@ -75,6 +85,7 @@ func main() {
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark target runtime")
 	baseline := flag.String("baseline", "", "earlier BENCH_*.json to compare the fresh snapshot against")
 	gate := flag.String("gate", "", "comma-separated name=maxRegressPct gates enforced against -baseline")
+	loadDur := flag.Duration("load-duration", 2*time.Second, "ServeLoad open-loop measured window per mix")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fatal(err)
@@ -173,6 +184,29 @@ func main() {
 			}
 		})
 	}
+	add("ServeEvalWarm", benchServeEvalWarm)
+	for _, l := range []struct {
+		mode string
+		miss float64
+	}{{"warm", 0}, {"mixed", 0.1}} {
+		res := runServeLoad(l.miss, *loadDur)
+		for _, p := range []struct {
+			name string
+			ns   int64
+		}{{"p50", int64(res.P50)}, {"p99", int64(res.P99)}} {
+			e := Entry{
+				Name:       fmt.Sprintf("ServeLoad/%s/%s", l.mode, p.name),
+				Iterations: res.Requests,
+				NsPerOp:    p.ns,
+				Seconds:    res.Elapsed.Seconds(),
+			}
+			snap.Entries = append(snap.Entries, e)
+			fmt.Fprintf(os.Stderr, "%-28s %12d ns/op %10.1f rps\n", e.Name, e.NsPerOp, res.RPS)
+		}
+		if res.Errors > 0 || res.Statuses[http.StatusOK] != res.Requests {
+			fatal(fmt.Errorf("ServeLoad/%s: %d errors, statuses %v", l.mode, res.Errors, res.Statuses))
+		}
+	}
 
 	path := filepath.Join(*out, "BENCH_"+snap.Date+".json")
 	data, err := json.MarshalIndent(snap, "", "  ")
@@ -240,6 +274,17 @@ func compare(baselinePath string, snap *Snapshot, gates string) error {
 				mark += " FAIL"
 				failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%): %d -> %d ns/op",
 					e.Name, delta, lim, b.NsPerOp, e.NsPerOp))
+			}
+			// A gate also pins allocs/op (when the baseline recorded any):
+			// the zero-alloc dataplane must not quietly grow garbage even if
+			// wall-clock stays inside the limit.
+			if b.AllocsPerOp > 0 {
+				aDelta := 100 * (float64(e.AllocsPerOp) - float64(b.AllocsPerOp)) / float64(b.AllocsPerOp)
+				if aDelta > lim {
+					mark += " ALLOC-FAIL"
+					failures = append(failures, fmt.Sprintf("%s allocs regressed %.1f%% (limit %.0f%%): %d -> %d allocs/op",
+						e.Name, aDelta, lim, b.AllocsPerOp, e.AllocsPerOp))
+				}
 			}
 		}
 		fmt.Fprintf(os.Stderr, "  %-28s %12d ns/op  %+7.1f%%%s\n", e.Name, e.NsPerOp, delta, mark)
@@ -484,6 +529,101 @@ func benchRepair(b *testing.B, n, r int, repair bool) {
 			d.Run(0, lens, nil)
 		}
 	}
+}
+
+// replayBody is a rearm-able request body: Seek(0) readies it for the
+// next iteration without allocating a reader.
+type replayBody struct{ *bytes.Reader }
+
+func (replayBody) Close() error { return nil }
+
+// nullRW discards the response body and reuses its header map, so the
+// direct-handler benchmark charges the service's own work and nothing
+// else.
+type nullRW struct {
+	h      http.Header
+	status int
+}
+
+func (w *nullRW) Header() http.Header         { return w.h }
+func (w *nullRW) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullRW) WriteHeader(s int)           { w.status = s }
+func (w *nullRW) reset() {
+	w.status = 0
+	for k := range w.h {
+		delete(w.h, k)
+	}
+}
+
+// serveGrid is the load benchmarks' unit of work: a single-point aspl
+// grid whose cost is dominated by the serve path once warm.
+func serveGrid(seed int) string {
+	return fmt.Sprintf("topo=rrg:n=8,deg=3,sps=1 traffic=permutation eval=aspl runs=1 seed=%d", seed)
+}
+
+// benchServeEvalWarm mirrors internal/service's BenchmarkServeEvalWarm:
+// one warm POST /v1/eval through the full handler stack against a null
+// writer — the response-byte-cache hit path, whose allocs/op the CI gate
+// pins.
+func benchServeEvalWarm(b *testing.B) {
+	cache := scenario.NewCache()
+	eng := &scenario.Engine{Parallel: 1, Cache: cache, SkipInfeasible: true}
+	svc := service.New(service.Config{Engine: eng, Cache: cache, MaxJobs: 4})
+	h := svc.Handler()
+	payload, err := json.Marshal(struct {
+		Grid string `json:"grid"`
+	}{serveGrid(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := &replayBody{bytes.NewReader(payload)}
+	req := httptest.NewRequest(http.MethodPost, "/v1/eval", body)
+	w := &nullRW{h: http.Header{}}
+	h.ServeHTTP(w, req)
+	if w.status != http.StatusOK {
+		b.Fatalf("prime request: status %d", w.status)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.Seek(0, 0)
+		w.reset()
+		h.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			b.Fatalf("status %d", w.status)
+		}
+	}
+}
+
+// runServeLoad drives the deterministic open-loop load generator against
+// an in-process serve daemon: 16 zipf-popular warm keys, optionally mixed
+// with fresh never-seen grids, measured over dur. The p50/p99 numbers
+// land in the snapshot as ServeLoad/<mix>/<pct>.
+func runServeLoad(missFrac float64, dur time.Duration) loadgen.Result {
+	cache := scenario.NewCache()
+	eng := &scenario.Engine{Cache: cache, SkipInfeasible: true}
+	svc := service.New(service.Config{Engine: eng, Cache: cache, MaxJobs: 8})
+	hs := httptest.NewServer(svc.Handler())
+	defer hs.Close()
+	universe := make([]string, 16)
+	for i := range universe {
+		universe[i] = serveGrid(i + 1)
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:  hs.URL,
+		Universe: universe,
+		Rate:     400,
+		Duration: dur,
+		Conns:    8,
+		Seed:     1,
+		MissFrac: missFrac,
+		MissGrid: func(i int) string { return serveGrid(1_000_000 + i) },
+		Prime:    true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return res
 }
 
 func fatal(err error) {

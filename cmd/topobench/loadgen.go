@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+// runLoadgen is the `topobench loadgen` subcommand: a deterministic
+// open-loop load generator against a running serve daemon (see
+// internal/loadgen). The warm universe is -keys cheap aspl grids varying
+// only their seed; -miss redirects that fraction of requests to fresh
+// never-seen grids so hit/miss mixes are reproducible. Latency is
+// measured from each request's scheduled arrival time, so a server that
+// falls behind the requested rate shows the queueing delay it inflicts.
+func runLoadgen(args []string) {
+	fs := flag.NewFlagSet("topobench loadgen", flag.ExitOnError)
+	var (
+		server   = fs.String("server", "http://127.0.0.1:8080", "serve daemon base URL")
+		rate     = fs.Float64("rate", 200, "open-loop arrival rate, requests/second")
+		duration = fs.Duration("duration", 5*time.Second, "measured window; rate*duration requests are scheduled")
+		conns    = fs.Int("conns", 8, "max concurrent in-flight requests")
+		seed     = fs.Int64("seed", 1, "schedule RNG seed (same seed = identical request sequence)")
+		keys     = fs.Int("keys", 16, "warm-universe size (distinct popular grids)")
+		miss     = fs.Float64("miss", 0, "fraction of requests sent to fresh never-seen grids [0,1]")
+		zipfS    = fs.Float64("zipf-s", 1.2, "zipf popularity skew (s > 1)")
+		noPrime  = fs.Bool("no-prime", false, "skip priming the warm universe before the measured window")
+		jsonOut  = fs.Bool("json", false, "emit the result as one JSON object instead of text")
+	)
+	fs.Parse(args)
+	if *miss < 0 || *miss > 1 {
+		fatal(fmt.Errorf("-miss must be in [0,1], got %g", *miss))
+	}
+	if *keys < 1 {
+		fatal(fmt.Errorf("-keys must be >= 1, got %d", *keys))
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:  *server,
+		Universe: loadgenUniverse(*keys),
+		Rate:     *rate,
+		Duration: *duration,
+		Conns:    *conns,
+		Seed:     *seed,
+		ZipfS:    *zipfS,
+		MissFrac: *miss,
+		MissGrid: loadgenMissGrid(*seed),
+		Prime:    !*noPrime,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("loadgen: %d requests in %.2fs (%.1f rps), %d errors\n",
+		res.Requests, res.Elapsed.Seconds(), res.RPS, res.Errors)
+	statuses := make([]int, 0, len(res.Statuses))
+	for st := range res.Statuses {
+		statuses = append(statuses, st)
+	}
+	sort.Ints(statuses)
+	for _, st := range statuses {
+		fmt.Printf("status %d: %d\n", st, res.Statuses[st])
+	}
+	fmt.Printf("latency (open-loop): p50=%s p95=%s p99=%s\n", res.P50, res.P95, res.P99)
+}
+
+// loadgenUniverse builds the warm universe: n cheap single-point aspl
+// grids differing only in seed, so every key costs the same to solve and
+// the measured spread is the serve path, not solver variance.
+func loadgenUniverse(n int) []string {
+	u := make([]string, n)
+	for i := range u {
+		u[i] = fmt.Sprintf("topo=rrg:n=8,deg=3,sps=1 traffic=permutation eval=aspl runs=1 seed=%d", i+1)
+	}
+	return u
+}
+
+// loadgenMissGrid maps miss index i to a grid no warm key uses: seeds
+// start far above any universe seed, offset by the schedule seed so two
+// runs with different seeds miss on different grids.
+func loadgenMissGrid(seed int64) func(int) string {
+	return func(i int) string {
+		return fmt.Sprintf("topo=rrg:n=8,deg=3,sps=1 traffic=permutation eval=aspl runs=1 seed=%d",
+			1_000_000+seed*100_000+int64(i))
+	}
+}

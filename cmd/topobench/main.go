@@ -12,6 +12,7 @@
 //	topobench serve -addr :8080 -cache-dir /var/lib/topobench [-jobs 8] [-store-max-bytes 1e9]
 //	topobench submit -server http://127.0.0.1:8080 -grid "topo=... traffic=... eval=..." [-o out.json]
 //	topobench submit -server http://127.0.0.1:8080 -job <id>
+//	topobench loadgen -server http://127.0.0.1:8080 -rate 300 -duration 5s [-miss 0.1] [-json]
 //
 // The submit subcommand drives the serve daemon's async job API
 // (POST /v1/jobs): the grid is submitted as a detached job, progress is
@@ -19,6 +20,19 @@
 // same bytes a synchronous /v1/eval would return — is written out. With
 // -job, an existing job (e.g. one submitted before a server restart) is
 // re-polled to completion instead.
+//
+// The loadgen subcommand benchmarks a running daemon: a deterministic
+// seeded open-loop load (zipf key popularity over a warm universe,
+// configurable hit/miss mix, fixed arrival rate) reporting RPS and
+// p50/p95/p99 latency measured from each request's scheduled arrival —
+// see internal/loadgen. Serve-side, two observability switches matter for
+// load work: `serve -pprof` exposes net/http/pprof profiling handlers
+// under /debug/pprof/ (off by default: profiles are an operator tool, not
+// part of the public API surface), and `serve -resp-cache-bytes` sizes
+// the response-byte cache that answers warm grids without re-marshaling
+// (0 = 64 MiB, negative disables; watch
+// topobench_response_bytes_cache_{hits,misses,evictions}_total and the
+// topobench_request_seconds histogram on /metrics).
 //
 // With -cache-dir, the content-addressed solve cache is tiered onto a
 // persistent result store (internal/store): results computed by ANY
@@ -68,6 +82,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "submit" {
 		runSubmit(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		runLoadgen(os.Args[2:])
 		return
 	}
 	var (

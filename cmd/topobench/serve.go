@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +45,8 @@ func runServe(args []string) {
 		jobTimeout = fs.Duration("job-timeout", 0, "per-async-job evaluation wall-clock bound (0 = unbounded)")
 		jobRetain  = fs.Duration("job-retain", 24*time.Hour, "how long finished async-job records are kept before the startup sweep discards them")
 		jobQueue   = fs.Int("job-queue", 0, "max async jobs resident before submissions get 429 (0 = 16*jobs)")
+		respBytes  = fs.Int64("resp-cache-bytes", 0, "response-byte cache budget (0 = 64 MiB default, negative = disabled)")
+		pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ (off by default)")
 	)
 	fs.Parse(args)
 
@@ -94,15 +97,30 @@ func runServe(args []string) {
 		Engine: eng, Cache: cache, Store: st,
 		MaxJobs: *jobs, StoreMaxBytes: *maxBytes,
 		Remote: remote, Tiered: tiered,
-		RequestTimeout: *reqTimeout,
-		JobTimeout:     *jobTimeout,
-		JobRetain:      *jobRetain,
-		MaxQueuedJobs:  *jobQueue,
+		RequestTimeout:    *reqTimeout,
+		JobTimeout:        *jobTimeout,
+		JobRetain:         *jobRetain,
+		MaxQueuedJobs:     *jobQueue,
+		RespCacheMaxBytes: *respBytes,
 	})
 	if n := svc.RecoverJobs(); n > 0 {
 		fmt.Fprintf(os.Stderr, "topobench serve: recovered %d async jobs from %s\n", n, *cacheDir)
 	}
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// pprof rides a wrapper mux so the profiling handlers stay entirely
+		// out of the service's routing (and its dataplane) unless asked for.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		fmt.Fprintf(os.Stderr, "topobench serve: pprof enabled at /debug/pprof/\n")
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, drain in-flight
 	// requests (bounded), then report what the process served.

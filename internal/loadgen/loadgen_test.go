@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingServer answers every eval with 200 and records the grid of
+// each request in arrival order.
+func recordingServer(t *testing.T) (*httptest.Server, func() []string) {
+	t.Helper()
+	var (
+		mu    sync.Mutex
+		grids []string
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Grid string `json:"grid"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		grids = append(grids, req.Grid)
+		mu.Unlock()
+		w.Write([]byte("{}\n"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), grids...)
+	}
+}
+
+func universe(n int) []string {
+	u := make([]string, n)
+	for i := range u {
+		u[i] = fmt.Sprintf("grid-%d", i)
+	}
+	return u
+}
+
+// TestDeterministicSchedule runs the same seed twice (single connection,
+// so server-side arrival order is the schedule order) and demands the two
+// request sequences be identical — the property the benchmark harness is
+// built on.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []string {
+		srv, got := recordingServer(t)
+		cfg := Config{
+			BaseURL:  srv.URL,
+			Universe: universe(8),
+			Rate:     1000,
+			Duration: 100 * time.Millisecond,
+			Conns:    1,
+			Seed:     42,
+			MissFrac: 0.3,
+			MissGrid: func(i int) string { return fmt.Sprintf("miss-%d", i) },
+		}
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("errors: %d", res.Errors)
+		}
+		if res.Requests != 100 {
+			t.Fatalf("requests: got %d want 100", res.Requests)
+		}
+		return got()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different request sequences:\n%v\n%v", a, b)
+	}
+	warm, miss := 0, 0
+	for _, g := range a {
+		if len(g) >= 5 && g[:5] == "miss-" {
+			miss++
+		} else {
+			warm++
+		}
+	}
+	if miss == 0 || warm == 0 {
+		t.Fatalf("expected a warm/miss mix, got %d warm %d miss", warm, miss)
+	}
+}
+
+// TestPrime evaluates every universe key once before the measured window.
+func TestPrime(t *testing.T) {
+	srv, got := recordingServer(t)
+	u := universe(5)
+	_, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Universe: u,
+		Rate:     100,
+		Duration: 10 * time.Millisecond,
+		Conns:    2,
+		Seed:     1,
+		Prime:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grids := got()
+	if len(grids) < len(u) {
+		t.Fatalf("got %d requests, want at least the %d priming ones", len(grids), len(u))
+	}
+	if !reflect.DeepEqual(grids[:len(u)], u) {
+		t.Fatalf("priming order: got %v want %v", grids[:len(u)], u)
+	}
+}
+
+// TestStatusesAndRPS checks counting of non-200 answers.
+func TestStatusesAndRPS(t *testing.T) {
+	var n int
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		n++
+		reject := n%2 == 0
+		mu.Unlock()
+		if reject {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("{}\n"))
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Universe: universe(2),
+		Rate:     1000,
+		Duration: 50 * time.Millisecond,
+		Conns:    4,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 50 {
+		t.Fatalf("requests: %d", res.Requests)
+	}
+	if res.Statuses[http.StatusOK]+res.Statuses[http.StatusTooManyRequests] != 50 {
+		t.Fatalf("statuses: %v", res.Statuses)
+	}
+	if res.RPS <= 0 {
+		t.Fatalf("rps: %g", res.RPS)
+	}
+	if res.P50 <= 0 || res.P99 < res.P95 || res.P95 < res.P50 {
+		t.Fatalf("percentile ordering: p50=%s p95=%s p99=%s", res.P50, res.P95, res.P99)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(lat, 0.50); got != 5 {
+		t.Fatalf("p50: %d", got)
+	}
+	if got := percentile(lat, 0.99); got != 10 {
+		t.Fatalf("p99: %d", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty: %d", got)
+	}
+}
+
+// TestConfigValidation rejects configs the generator cannot honor.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{BaseURL: "http://x"},
+		{BaseURL: "http://x", Universe: []string{"g"}},
+		{BaseURL: "http://x", Universe: []string{"g"}, Rate: 10, Duration: time.Second, MissFrac: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// The response-byte cache is the serve path's answer to the store's
+// byte-identity guarantee: since a warm replay of a grid is byte-identical
+// to its cold marshal (the durability clause of the cache-key invariant),
+// the canonical response BYTES themselves are cacheable — a warm request
+// is answered by one map lookup and one socket write, with no grid parse,
+// no engine walk, and no re-marshal. Population is already singleflighted
+// by the flight table (one evaluation, one put); eviction is LRU to a byte
+// budget, mirroring store.Prune semantics: entries leave whole or not at
+// all — a hit returns the complete cached body or nil, never a prefix —
+// and a response already handed to a writer stays valid after eviction
+// because entries are immutable (eviction drops the reference, it never
+// mutates or truncates the bytes).
+//
+// Keys are the same SHA-256 content addressing the store uses, over a
+// VERSIONED preimage: respSchemaVersion | store.CodecVersion | grid line.
+// Bump respSchemaVersion whenever the canonical response encoding changes
+// (field added, marshal layout changed — the EvalResponse sibling of the
+// store's "bump CodecVersion" rule); the store's own codec version rides
+// in the key too, so a value-encoding bump can never serve bytes computed
+// under the old semantics. Stale-version entries are simply unreachable —
+// they age out by LRU, exactly like stale-codec store entries read as
+// misses.
+
+// respSchemaVersion versions the byte-cache key against changes to the
+// canonical EvalResponse encoding. Bump it whenever MarshalCanonical's
+// output for an unchanged grid could change.
+const respSchemaVersion uint16 = 1
+
+// respKey is a byte-cache key: the SHA-256 of the versioned preimage.
+// Using the raw digest as the map key keeps the hot lookup free of hex
+// encoding and string allocation.
+type respKey [sha256.Size]byte
+
+// respKeyPrefix is the versioned preimage prefix shared by every key.
+var respKeyPrefix = respPrefix(respSchemaVersion, uint16(store.CodecVersion))
+
+func respPrefix(schema, codec uint16) string {
+	return fmt.Sprintf("resp|schema=%d|codec=%d|", schema, codec)
+}
+
+// respKeyFor hashes the versioned preimage for a grid line, building it in
+// scratch (grown only when too small) so a hot request computes its key
+// with zero heap allocations. The returned scratch is handed back for
+// reuse.
+func respKeyFor(scratch []byte, prefix, line string) (respKey, []byte) {
+	scratch = append(scratch[:0], prefix...)
+	scratch = append(scratch, line...)
+	return sha256.Sum256(scratch), scratch
+}
+
+// respEntry is one cached canonical response. body is immutable from
+// insertion on.
+type respEntry struct {
+	body   []byte
+	access int64
+}
+
+// respCacheStats is a point-in-time snapshot of the byte cache.
+type respCacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+	Bytes                   int64
+}
+
+// respCache is the content-addressed response-byte cache. maxBytes <= 0
+// disables it entirely (every get is a counted miss, every put a no-op).
+type respCache struct {
+	maxBytes int64
+
+	mu        sync.Mutex
+	entries   map[respKey]*respEntry
+	bytes     int64
+	clock     int64
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newRespCache(maxBytes int64) *respCache {
+	return &respCache{maxBytes: maxBytes, entries: map[respKey]*respEntry{}}
+}
+
+// get returns the complete cached canonical bytes for k, or nil on a miss.
+// The returned slice is shared and immutable: callers write it, they never
+// modify it.
+func (c *respCache) get(k respKey) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.clock++
+	e.access = c.clock
+	c.hits++
+	return e.body
+}
+
+// put caches body under k and evicts least-recently-used entries until the
+// cache fits its byte budget. The caller transfers the body in: it must
+// never be mutated afterwards (the service's response bodies never are —
+// they are freshly marshaled and only ever written to sockets). A body
+// larger than the whole budget is not cached: admitting it would evict
+// everything for an entry the next put removes anyway.
+func (c *respCache) put(k respKey, body []byte) {
+	if c.maxBytes <= 0 || int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	if e, ok := c.entries[k]; ok {
+		// Racing populates for one key carry byte-identical bodies (the
+		// invariant this cache is built on); keep the resident entry.
+		e.access = c.clock
+		return
+	}
+	c.entries[k] = &respEntry{body: body, access: c.clock}
+	c.bytes += int64(len(body))
+	for c.bytes > c.maxBytes {
+		var (
+			lruKey respKey
+			lru    *respEntry
+		)
+		for key, e := range c.entries {
+			if e == c.entries[k] {
+				continue // never evict the entry this put admitted
+			}
+			if lru == nil || e.access < lru.access {
+				lruKey, lru = key, e
+			}
+		}
+		if lru == nil {
+			break
+		}
+		delete(c.entries, lruKey)
+		c.bytes -= int64(len(lru.body))
+		c.evictions++
+	}
+}
+
+// stats snapshots the cache counters and resident state.
+func (c *respCache) stats() respCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return respCacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.entries), Bytes: c.bytes,
+	}
+}

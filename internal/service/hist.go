@@ -1,0 +1,49 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// reqHistBuckets are the topobench_request_seconds histogram's upper
+// bounds, in seconds. The range spans byte-cache hits (tens of
+// microseconds) through cold multi-point solves (seconds), with the
+// conventional 1-2.5-5 spacing Prometheus tooling expects.
+var reqHistBuckets = [...]float64{
+	.00005, .0001, .00025, .0005, .001, .0025, .005, .01,
+	.025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// reqHist is a fixed-bucket request-latency histogram. observe is two
+// atomic adds and a short linear scan — no locks, no allocations — so it
+// sits on the dataplane without disturbing the zero-alloc budget.
+type reqHist struct {
+	counts [len(reqHistBuckets) + 1]atomic.Int64 // +1: the +Inf bucket
+	nanos  atomic.Int64
+}
+
+func (h *reqHist) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(reqHistBuckets) && sec > reqHistBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.nanos.Add(int64(d))
+}
+
+// render writes the histogram in Prometheus text exposition format:
+// cumulative le-labeled buckets, _sum, and _count.
+func (h *reqHist) render(w io.Writer, name string) {
+	var cum int64
+	for i, le := range reqHistBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+	}
+	cum += h.counts[len(reqHistBuckets)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.nanos.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}

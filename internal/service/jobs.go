@@ -379,13 +379,22 @@ func (s *Server) RecoverJobs() int {
 	return n
 }
 
-// ensureResult kicks off a replay for a done job whose bytes are not
-// resident (it finished in a previous process). Idempotent: one replay
-// runs at a time.
+// ensureResult re-materializes the bytes of a done job that finished in a
+// previous process (or whose resident bytes were dropped). It tries the
+// response-byte cache first — if the canonical bytes for the job's grid
+// are still resident AND their content address matches the recorded
+// witness, they are adopted synchronously, no replay, no 202 round-trip.
+// Otherwise it kicks off the usual async replay through the evaluation
+// path. Idempotent: one replay runs at a time.
 func (s *Server) ensureResult(j *job) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.rec.State != store.JobDone || j.body != nil || j.replay {
+		return
+	}
+	rk, _ := respKeyFor(nil, respKeyPrefix, j.grid)
+	if body := s.resp.get(rk); body != nil && store.Addr(string(body)) == j.rec.ResultAddr {
+		j.status, j.body = http.StatusOK, body
 		return
 	}
 	j.replay = true
@@ -417,6 +426,10 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 			errors.New("unknown job (lost or expired record): resubmit the grid"))
 		return
 	}
+	// Before reading state: a byte-cache adoption inside ensureResult lands
+	// synchronously, so a done-but-not-resident job whose bytes are still
+	// cached answers 200 on this very poll instead of a 202 round-trip.
+	s.ensureResult(j)
 	j.mu.Lock()
 	state, status, body, errMsg := j.rec.State, int(j.rec.Status), j.body, j.rec.Error
 	j.mu.Unlock()
@@ -429,7 +442,6 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, status, errors.New(errMsg))
 	default:
-		s.ensureResult(j)
 		writeJobStatus(w, http.StatusAccepted, j)
 	}
 }

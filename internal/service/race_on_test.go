@@ -1,0 +1,7 @@
+//go:build race
+
+package service
+
+// raceEnabled mirrors the race detector's presence: allocation-count
+// assertions only hold without instrumentation.
+const raceEnabled = true

@@ -21,14 +21,23 @@
 //	                       terminal one (204).
 //	GET  /v1/result/<key>  one stored result by content address (hex
 //	                       SHA-256 of the point key) → 404 if absent.
+//	                       Carries a strong, representation-versioned
+//	                       ETag; If-None-Match revalidation answers 304
+//	                       without touching the store (content addresses
+//	                       are immutable).
 //	GET  /v1/scenarios     the three registries (topologies, traffics,
 //	                       evaluators).
 //	GET  /healthz          liveness probe ("ok").
 //	GET  /metrics          Prometheus text: cache/store hit/miss/bytes,
-//	                       request/rejection/dedup counters.
+//	                       request/rejection/dedup counters, response-
+//	                       byte-cache counters, and a request-latency
+//	                       histogram (topobench_request_seconds).
 //
 // Identical grids requested concurrently are deduplicated in flight
 // (singleflight): one evaluation runs, every waiter gets its bytes.
+// Warm grids are answered from a content-addressed response-byte cache
+// (bytecache.go) — canonical bytes, no re-marshal, zero-alloc request
+// loop — sized by Config.RespCacheMaxBytes.
 // Admission is a bounded job queue — when MaxJobs evaluations are already
 // in flight, new distinct grids are rejected with 429 Too Many Requests
 // and a Retry-After hint, so overload degrades by backpressure instead of
@@ -52,6 +61,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -59,6 +69,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -108,12 +119,23 @@ type Config struct {
 	// finished-but-retained); submissions beyond it get 429. <= 0 means
 	// 16·MaxJobs.
 	MaxQueuedJobs int
+	// RespCacheMaxBytes bounds the response-byte cache (bytecache.go): the
+	// canonical response bytes of previously-answered grids, served with
+	// zero re-marshal on hit and evicted LRU beyond the budget. 0 means
+	// 64 MiB; negative disables the cache.
+	RespCacheMaxBytes int64
 }
 
 // Server handles the evaluation API. Create with New.
 type Server struct {
 	cfg  Config
 	jobs chan struct{}
+	// resp caches canonical response bytes by versioned content address —
+	// the warm dataplane (see bytecache.go).
+	resp *respCache
+	// hist is the request-latency histogram behind
+	// topobench_request_seconds on /metrics.
+	hist reqHist
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -204,8 +226,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxQueuedJobs <= 0 {
 		cfg.MaxQueuedJobs = 16 * cfg.MaxJobs
 	}
+	if cfg.RespCacheMaxBytes == 0 {
+		cfg.RespCacheMaxBytes = 64 << 20
+	}
 	s := &Server{
 		cfg:     cfg,
+		resp:    newRespCache(cfg.RespCacheMaxBytes),
 		jobs:    make(chan struct{}, cfg.MaxJobs),
 		flights: map[string]*flight{},
 		jobTab:  map[string]*job{},
@@ -229,7 +255,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.recoverer(mux)
+	return s.timing(s.recoverer(mux))
+}
+
+// timing feeds every request's wall clock into the latency histogram. It
+// wraps the recoverer, so panicking (recovered) requests are observed too.
+func (s *Server) timing(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.hist.observe(time.Since(start))
+	})
 }
 
 func (s *Server) recoverer(next http.Handler) http.Handler {
@@ -374,19 +410,89 @@ func (r *EvalResponse) MarshalCanonical() ([]byte, error) {
 // maps it to 429.
 var errQueueFull = errors.New("evaluation queue full")
 
-func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+// evalScratch is the pooled per-request parse scratch: the request-body
+// read buffer and the key-preimage buffer live across requests instead of
+// being reallocated per request, so the warm dataplane's only remaining
+// parse allocations are encoding/json's own small decode state.
+type evalScratch struct {
+	body []byte
+	key  []byte
+}
+
+var evalScratchPool = sync.Pool{New: func() any { return &evalScratch{} }}
+
+// maxEvalBody bounds a request body read — a grid line is at most a few
+// hundred bytes; anything beyond this is not a grid request.
+const maxEvalBody = 1 << 20
+
+// readGrid reads and parses the request body into sc, returning the
+// whitespace-normalized grid line.
+func readGrid(r *http.Request, sc *evalScratch) (string, error) {
+	buf := sc.body[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sc.body = buf
+			return "", fmt.Errorf("reading request: %w", err)
+		}
+		if len(buf) > maxEvalBody {
+			sc.body = buf
+			return "", errors.New("request body too large")
+		}
+	}
+	sc.body = buf
 	var req EvalRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
+	if err := json.Unmarshal(buf, &req); err != nil {
+		return "", fmt.Errorf("decoding request: %w", err)
 	}
 	if strings.TrimSpace(req.Grid) == "" {
-		writeError(w, http.StatusBadRequest, errors.New("request needs a grid line"))
+		return "", errors.New("request needs a grid line")
+	}
+	return normalizeLine(req.Grid), nil
+}
+
+// normalizeLine is strings.Join(strings.Fields(s), " ") with an
+// allocation-free fast path for lines that are already in canonical form
+// (single interior spaces, no leading/trailing whitespace) — which is
+// every line a well-behaved client or the loadgen harness sends.
+func normalizeLine(s string) string {
+	if s == "" {
+		return s
+	}
+	clean := s[0] != ' ' && s[len(s)-1] != ' '
+	for i := 0; clean && i < len(s); i++ {
+		switch s[i] {
+		case '\t', '\n', '\v', '\f', '\r':
+			clean = false
+		case ' ':
+			if i+1 < len(s) && s[i+1] == ' ' {
+				clean = false
+			}
+		}
+	}
+	if clean {
+		return s
+	}
+	return strings.Join(strings.Fields(s), " ")
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	sc := evalScratchPool.Get().(*evalScratch)
+	defer evalScratchPool.Put(sc)
+	key, err := readGrid(r, sc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	key := strings.Join(strings.Fields(req.Grid), " ")
-	status, body, err := s.evalShared(r.Context(), key, false, s.cfg.RequestTimeout, nil)
+	status, body, err := s.evalSharedScratch(r.Context(), key, false, s.cfg.RequestTimeout, nil, sc)
 	if err != nil {
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -422,6 +528,23 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 //     its own ctx is live, it loops and re-dispatches instead of
 //     forwarding a disconnect it did not suffer.
 func (s *Server) evalShared(ctx context.Context, key string, block bool, timeout time.Duration, progress scenario.ProgressFunc) (int, []byte, error) {
+	sc := evalScratchPool.Get().(*evalScratch)
+	defer evalScratchPool.Put(sc)
+	return s.evalSharedScratch(ctx, key, block, timeout, progress, sc)
+}
+
+// evalSharedScratch is evalShared with a caller-supplied parse scratch
+// (the key-preimage buffer). The response-byte cache fronts everything:
+// a warm grid returns its canonical bytes here — no flight, no job slot,
+// no engine walk, no marshal — and a cold evaluation's 200 bytes populate
+// the cache on the way out (one put per flight: population is
+// singleflighted by construction).
+func (s *Server) evalSharedScratch(ctx context.Context, key string, block bool, timeout time.Duration, progress scenario.ProgressFunc, sc *evalScratch) (int, []byte, error) {
+	var rk respKey
+	rk, sc.key = respKeyFor(sc.key, respKeyPrefix, key)
+	if body := s.resp.get(rk); body != nil {
+		return http.StatusOK, body, nil
+	}
 	for {
 		s.mu.Lock()
 		if f, ok := s.flights[key]; ok && f.ctx.Err() == nil {
@@ -483,6 +606,9 @@ func (s *Server) evalShared(ctx context.Context, key string, block bool, timeout
 				s.lastSlot.Store(time.Now().UnixNano())
 			}()
 			f.status, f.body = s.evaluate(f.ctx, key, progress)
+			if f.status == http.StatusOK {
+				s.resp.put(rk, f.body)
+			}
 		}()
 		return f.status, f.body, nil
 	}
@@ -529,24 +655,111 @@ func (s *Server) evaluate(ctx context.Context, line string, progress scenario.Pr
 	return http.StatusOK, body
 }
 
+// Result representations carry strong ETags: a content address fully
+// determines its bytes (the byte-identity invariant), so the ETag is the
+// address itself plus a representation-and-version suffix — `.j<n>` for
+// the JSON view (n = respSchemaVersion) and `.t<n>` for the raw TBRS view
+// (n = store.CodecVersion). Bumping either version changes every ETag, so
+// clients can never revalidate bytes produced under an older encoding.
+var (
+	etagJSONSuffix = fmt.Sprintf(".j%d\"", respSchemaVersion)
+	etagTBRSSuffix = fmt.Sprintf(".t%d\"", store.CodecVersion)
+
+	jsonCTVal    = []string{"application/json; charset=utf-8"}
+	tbrsCTVal    = []string{remotestore.ContentType}
+	metricsCTVal = []string{"text/plain; version=0.0.4; charset=utf-8"}
+	varyAccept   = []string{"Accept"}
+)
+
+// etagMatch reports whether an If-None-Match header matches etag, per RFC
+// 7232 weak comparison: `*` matches anything, a W/ prefix on a candidate
+// is ignored, and the list form is scanned tag by tag.
+func etagMatch(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for {
+		header = strings.TrimLeft(header, " \t,")
+		if header == "" {
+			return false
+		}
+		t := header
+		if strings.HasPrefix(t, "W/") {
+			t = t[2:]
+		}
+		if len(t) < 2 || t[0] != '"' {
+			return false // malformed header: treat as no match
+		}
+		end := strings.IndexByte(t[1:], '"')
+		if end < 0 {
+			return false
+		}
+		if t[:end+2] == etag {
+			return true
+		}
+		header = t[end+2:]
+	}
+}
+
+// resultScratch pools the GET /v1/result read scratch: entry bytes and
+// decoded values are reused across requests, so the peer-facing TBRS hot
+// path reads the store without per-request buffer allocations.
+type resultScratch struct {
+	buf  []byte
+	vals []float64
+}
+
+var resultScratchPool = sync.Pool{New: func() any { return &resultScratch{} }}
+
+// handleResult serves one stored result by content address. Conditional
+// requests short-circuit BEFORE the store is touched: content addressing
+// makes every representation immutable (an address can only ever map to
+// one byte sequence, across processes and restarts), so a client
+// presenting a matching ETag holds the current bytes by construction and
+// a 304 — carrying no body — needs no store read at all, not even an
+// existence check.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store == nil {
 		writeError(w, http.StatusNotFound, errors.New("no result store attached (serve with -cache-dir)"))
 		return
 	}
 	key := r.PathValue("key")
-	vals, ok := s.cfg.Store.LoadAddr(key)
+	if !validAddr(key) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no result under %s", key))
+		return
+	}
+	tbrs := r.Header.Get("Accept") == remotestore.ContentType
+	suffix := etagJSONSuffix
+	if tbrs {
+		suffix = etagTBRSSuffix
+	}
+	etag := `"` + key + suffix
+	h := w.Header()
+	h["Vary"] = varyAccept
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		h["Etag"] = []string{etag}
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	sc := resultScratchPool.Get().(*resultScratch)
+	defer resultScratchPool.Put(sc)
+	raw, vals, ok := s.cfg.Store.LoadAddrBuf(key, sc.buf, sc.vals)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no result under %s", key))
 		return
 	}
-	if r.Header.Get("Accept") == remotestore.ContentType {
+	sc.buf, sc.vals = raw, vals
+	h["Etag"] = []string{etag}
+	if tbrs {
 		// Peer replicas (internal/remotestore) ask for the raw TBRS codec
-		// bytes; re-encoding the loaded values always yields a valid entry,
-		// so a peer never receives disk corruption.
-		w.Header().Set("Content-Type", remotestore.ContentType)
+		// bytes. raw is the verified on-disk entry exactly as a Save wrote
+		// it — decodeAppend already re-checked magic, version, and CRC — so
+		// it is forwarded without re-encoding and a peer still never
+		// receives disk corruption.
+		h["Content-Type"] = tbrsCTVal
+		h["Content-Length"] = []string{strconv.Itoa(len(raw))}
 		w.WriteHeader(http.StatusOK)
-		w.Write(store.EncodeValues(vals))
+		w.Write(raw)
 		return
 	}
 	body, err := json.MarshalIndent(struct {
@@ -674,9 +887,11 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// The exposition is rendered into a buffer first so the response can
+	// carry Content-Length like every other endpoint.
+	var buf bytes.Buffer
 	g := func(name string, v int64) {
-		fmt.Fprintf(w, "topobench_%s %d\n", name, v)
+		fmt.Fprintf(&buf, "topobench_%s %d\n", name, v)
 	}
 	if c := s.cfg.Cache; c != nil {
 		st := c.Stats()
@@ -748,10 +963,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g("result_puts_total", s.puts.Load())
 	g("result_puts_rejected_total", s.putBad.Load())
 	g("eval_inflight", int64(len(s.jobs)))
+	rc := s.resp.stats()
+	g("response_bytes_cache_hits_total", rc.Hits)
+	g("response_bytes_cache_misses_total", rc.Misses)
+	g("response_bytes_cache_evictions_total", rc.Evictions)
+	g("response_bytes_cache_entries", int64(rc.Entries))
+	g("response_bytes_cache_bytes", rc.Bytes)
+	s.hist.render(&buf, "topobench_request_seconds")
+	h := w.Header()
+	h["Content-Type"] = metricsCTVal
+	h["Content-Length"] = []string{strconv.Itoa(buf.Len())}
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
 }
 
+// writeBytes writes a complete JSON response with explicit Content-Length.
+// The Content-Type value slice is shared and preallocated (net/http never
+// mutates header value slices), so the only per-response header allocation
+// is the Content-Length itoa.
 func writeBytes(w http.ResponseWriter, status int, body []byte) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	h := w.Header()
+	h["Content-Type"] = jsonCTVal
+	h["Content-Length"] = []string{strconv.Itoa(len(body))}
 	w.WriteHeader(status)
 	w.Write(body)
 }

@@ -62,26 +62,41 @@ func DecodeValues(buf []byte) ([]float64, bool) { return decode(buf) }
 // decode parses an entry, returning ok=false on any corruption, version
 // mismatch, or truncation.
 func decode(buf []byte) ([]float64, bool) {
+	return decodeAppend(buf, nil)
+}
+
+// decodeAppend is decode with caller-owned value scratch: parsed values
+// are appended to vals (which may be nil or a reused slice sliced to
+// zero length), so a hot read loop decodes entry after entry without
+// allocating a fresh values slice per entry. The verification rules are
+// decode's exactly — any deviation is "no entry" — and on ok=false the
+// returned slice is vals untouched.
+func decodeAppend(buf []byte, vals []float64) ([]float64, bool) {
 	if len(buf) < headerSize+trailerSize {
-		return nil, false
+		return vals, false
 	}
 	if [4]byte(buf[0:4]) != magic {
-		return nil, false
+		return vals, false
 	}
 	if binary.LittleEndian.Uint16(buf[4:6]) != CodecVersion {
-		return nil, false
+		return vals, false
 	}
 	n := binary.LittleEndian.Uint32(buf[8:12])
 	if n > (1<<31-headerSize-trailerSize)/8 || len(buf) != headerSize+8*int(n)+trailerSize {
-		return nil, false
+		return vals, false
 	}
 	body := buf[:headerSize+8*int(n)]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(buf[len(body):]) {
-		return nil, false
+		return vals, false
 	}
-	vals := make([]float64, n)
-	for i := range vals {
-		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[headerSize+8*i:]))
+	if vals == nil {
+		// A successful decode always yields a non-nil slice, even for the
+		// empty value list (nil would read as "no entry" to callers that
+		// compare against what encode was given).
+		vals = make([]float64, 0, n)
+	}
+	for i := 0; i < int(n); i++ {
+		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(buf[headerSize+8*i:])))
 	}
 	return vals, true
 }

@@ -26,6 +26,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -188,29 +189,44 @@ func (s *Store) Load(key string) ([]float64, bool) {
 // LoadAddr is Load by precomputed content address (the service's
 // GET /v1/result path).
 func (s *Store) LoadAddr(addr string) ([]float64, bool) {
+	_, vals, ok := s.LoadAddrBuf(addr, nil, nil)
+	return vals, ok
+}
+
+// LoadAddrBuf is LoadAddr with caller-owned scratch: the entry file is
+// read into buf (grown only when too small) and the values are decoded by
+// appending to vals sliced to zero length, so a serving hot loop performs
+// no per-read allocations once its scratch has grown to the working-set
+// entry size. On ok=true, raw holds the verified entry bytes exactly as a
+// Save wrote them — the TBRS wire format, forwardable to peers without
+// re-encoding — and out holds the decoded values; both alias the scratch
+// and are valid only until the caller's next use of it. Every semantic of
+// LoadAddr is preserved: misses, corruption-as-miss (the damaged file is
+// dropped), pinning against concurrent Prune, and the stats counters.
+func (s *Store) LoadAddrBuf(addr string, buf []byte, vals []float64) (raw []byte, out []float64, ok bool) {
 	if len(addr) != 2*sha256.Size || !isHex(addr) {
 		s.mu.Lock()
 		s.misses++
 		s.mu.Unlock()
-		return nil, false
+		return nil, nil, false
 	}
 	path := s.path(addr)
 	s.mu.Lock()
-	e, ok := s.index[addr]
-	if !ok {
+	e, found := s.index[addr]
+	if !found {
 		// The entry may have been published by another process after this
 		// handle indexed the tree; adopt it if the file exists.
 		if info, err := os.Stat(path); err == nil {
 			e = &entry{size: info.Size()}
 			s.index[addr] = e
 			s.bytes += e.size
-			ok = true
+			found = true
 		}
 	}
-	if !ok {
+	if !found {
 		s.misses++
 		s.mu.Unlock()
-		return nil, false
+		return nil, nil, false
 	}
 	s.clock++
 	e.access = s.clock
@@ -220,7 +236,7 @@ func (s *Store) LoadAddr(addr string) ([]float64, bool) {
 	if s.loadHook != nil {
 		s.loadHook()
 	}
-	buf, readErr := os.ReadFile(path)
+	buf, readErr := readFileInto(path, buf)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -228,17 +244,46 @@ func (s *Store) LoadAddr(addr string) ([]float64, bool) {
 	if readErr != nil {
 		s.dropLocked(addr, e)
 		s.misses++
-		return nil, false
+		return nil, nil, false
 	}
-	vals, decOK := decode(buf)
+	vals, decOK := decodeAppend(buf, vals[:0])
 	if !decOK {
 		s.dropLocked(addr, e)
 		s.corrupt++
 		s.misses++
-		return nil, false
+		return nil, nil, false
 	}
 	s.hits++
-	return vals, true
+	return buf, vals, true
+}
+
+// readFileInto reads path into buf, growing it only when the file exceeds
+// the scratch capacity. A file that grows between Stat and read returns an
+// error (treated as a miss by the caller) rather than truncated bytes; the
+// codec's CRC would reject a short read regardless.
+func readFileInto(path string, buf []byte) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return buf, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return buf, err
+	}
+	n := int(info.Size())
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	// Entries are published by rename and never appended, so the opened
+	// file cannot change size under the read; a racing replace swaps the
+	// whole inode and this descriptor keeps the complete old bytes.
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return buf, err
+	}
+	return buf, nil
 }
 
 // dropLocked removes an entry from the index and best-effort from disk.
