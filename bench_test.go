@@ -205,6 +205,140 @@ func BenchmarkStoreColdWarm(b *testing.B) {
 	})
 }
 
+// warmLadderPoints builds the failure ladder of the incremental-evaluation
+// benchmarks: the PR 4 sweep instance (rrg n=40 deg=10 sps=5, permutation,
+// mcf, eps=0.12, seed=1) degraded at frac=0.05..0.2. All rungs share one
+// seed, so they share one frac=0 parent — the "what changed" ladder a
+// warm-started engine answers from that parent's witness.
+func warmLadderPoints(tb testing.TB) []scenario.Point {
+	tb.Helper()
+	topoSpec, err := scenario.ParseTopology("rrg:n=40,sps=5")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := scenario.ParseTraffic("permutation")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var pts []scenario.Point
+	for _, frac := range []float64{0.05, 0.1, 0.15, 0.2} {
+		inner, err := scenario.ParseEvaluator("mcf")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		pts = append(pts, scenario.Point{
+			Topo: topoSpec, Traffic: tr,
+			Eval: scenario.Failures{Frac: frac, Inner: inner},
+			Seed: 1, Runs: 2, Epsilon: 0.12,
+		})
+	}
+	return pts
+}
+
+// warmExpandPoints is the expansion-step variant: one growth step on the
+// same instance, whose parent is the unexpanded base fabric.
+func warmExpandPoints(tb testing.TB) []scenario.Point {
+	tb.Helper()
+	topoSpec, err := scenario.ParseTopology("expand:n=40,deg=10,sps=5,steps=1")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := scenario.ParseTraffic("permutation")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ev, err := scenario.ParseEvaluator("mcf")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return []scenario.Point{{
+		Topo: topoSpec, Traffic: tr, Eval: ev,
+		Seed: 1, Runs: 2, Epsilon: 0.12,
+	}}
+}
+
+// primeWitnesses solves every point's parent once (warm-start engine, so
+// witnesses are exported) and returns the witness entries, keyed ready
+// for injection into a fresh cache. The benchmark loop injects ONLY these
+// — no parent results, no child results — so each iteration measures the
+// delta solves themselves with the parent witness resident, never a
+// result-cache hit.
+func primeWitnesses(tb testing.TB, pts []scenario.Point) map[string][]float64 {
+	tb.Helper()
+	prime := scenario.NewCache()
+	eng := &scenario.Engine{Parallel: 1, Cache: prime, WarmStart: true}
+	wit := map[string][]float64{}
+	for _, p := range pts {
+		pp, ok := scenario.ParentPoint(p)
+		if !ok {
+			tb.Fatalf("point %s has no parent", p.Key())
+		}
+		if _, err := eng.MeasureRuns([]scenario.Point{pp}); err != nil {
+			tb.Fatal(err)
+		}
+		for i := 0; i < p.Runs; i++ {
+			k := scenario.WitnessKey(pp.Key(), i)
+			w, ok := prime.Get(k)
+			if !ok {
+				tb.Fatalf("parent solve exported no witness under %s", k)
+			}
+			wit[k] = w
+		}
+	}
+	return wit
+}
+
+// Ablation: incremental what-if evaluation. Each sub-benchmark solves the
+// same delta-shaped points cold (from-scratch Fleischer solves) and warm
+// (seeded from the parent's witness, flowcheck-recertified); the
+// cold/warm ns/op ratio is the PR 9 acceptance number (≥3× on the
+// ladder). Priming happens outside the timer, and the warm iterations
+// carry witnesses only, so a warm op is parent-witness mapping + seeded
+// solve + certification — the real marginal cost of answering "what if"
+// against an already-evaluated fabric.
+func BenchmarkSolverWarmStart(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		pts  func(testing.TB) []scenario.Point
+	}{{"ladder", warmLadderPoints}, {"expand", warmExpandPoints}} {
+		pts := c.pts(b)
+		b.Run(c.name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := &scenario.Engine{Parallel: 1}
+				if _, err := eng.MeasureRuns(pts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/warm", func(b *testing.B) {
+			wit := primeWitnesses(b, pts)
+			runsTotal := 0
+			for _, p := range pts {
+				runsTotal += p.Runs
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *scenario.Engine
+			for i := 0; i < b.N; i++ {
+				cache := scenario.NewCache()
+				for k, v := range wit {
+					cache.Put(k, v)
+				}
+				eng := &scenario.Engine{Parallel: 1, Cache: cache, WarmStart: true}
+				if _, err := eng.MeasureRuns(pts); err != nil {
+					b.Fatal(err)
+				}
+				last = eng
+			}
+			b.StopTimer()
+			if ws := last.WarmStats(); ws.Starts != int64(runsTotal) {
+				b.Fatalf("warm iteration did not warm-start every run: %+v (want %d starts)", ws, runsTotal)
+			}
+		})
+	}
+}
+
 // Ablation: solver scaling with network size at fixed degree (the Fig. 2
 // regime).
 func BenchmarkSolverScale(b *testing.B) {

@@ -10,8 +10,11 @@
 //
 // The snapshot covers the flow solver (scale, epsilon, repair-vs-rebuild,
 // prebuild staleness-margin, and phase-parallel worker-scaling ablations),
-// the scenario engine's solve cache (cold vs warm repeated-instance
-// sweep), the persistent result store (cold process vs warm restart over
+// the incremental-evaluation path (SolverWarmStart/{ladder,expand}: the
+// same delta-shaped points solved cold vs warm-started from the parent's
+// stored witness; the ladder's ≥3× cold/warm speedup is enforced by the
+// run itself, baseline or not), the scenario engine's solve cache (cold
+// vs warm repeated-instance sweep), the persistent result store (cold process vs warm restart over
 // a primed store directory), the remote store client (a Load round trip
 // against a warm peer, clean vs through the chaos injector), the
 // bisection-bandwidth estimator, two representative figure runners in
@@ -152,6 +155,34 @@ func main() {
 		add("RemoteStore/"+mode, func(b *testing.B) {
 			benchRemoteStore(b, mode == "faulty")
 		})
+	}
+	// Incremental what-if evaluation: the same delta-shaped points solved
+	// cold vs warm-started from the parent's witness. The ladder ratio is
+	// the PR 9 acceptance number, enforced right here — a benchjson run
+	// where warm starts stop paying fails, baseline or not.
+	for _, c := range []struct {
+		name string
+		pts  []scenario.Point
+		min  float64 // enforced cold/warm speedup (0: report only)
+	}{
+		{"ladder", warmLadderPoints(), 3},
+		{"expand", warmExpandPoints(), 0},
+	} {
+		c := c
+		add("SolverWarmStart/"+c.name+"/cold", func(b *testing.B) {
+			benchWarmStart(b, c.pts, false)
+		})
+		coldNs := snap.Entries[len(snap.Entries)-1].NsPerOp
+		add("SolverWarmStart/"+c.name+"/warm", func(b *testing.B) {
+			benchWarmStart(b, c.pts, true)
+		})
+		warmNs := snap.Entries[len(snap.Entries)-1].NsPerOp
+		ratio := float64(coldNs) / float64(warmNs)
+		fmt.Fprintf(os.Stderr, "%-28s %12.2fx cold/warm\n", "SolverWarmStart/"+c.name, ratio)
+		if c.min > 0 && ratio < c.min {
+			fatal(fmt.Errorf("SolverWarmStart/%s: warm start only %.2fx faster than cold (acceptance floor %.0fx)",
+				c.name, ratio, c.min))
+		}
 	}
 	for _, w := range []int{1, 2, 4} {
 		w := w
@@ -474,6 +505,113 @@ func benchRemoteStore(b *testing.B, faulty bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Load(key)
+	}
+}
+
+// warmLadderPoints builds the incremental-evaluation failure ladder: the
+// PR 4 sweep instance (rrg n=40 deg=10 sps=5, permutation, mcf, eps=0.12,
+// seed=1) degraded at frac=0.05..0.2. All rungs share one seed, hence one
+// frac=0 parent (the repo's bench_test.go keeps the same points).
+func warmLadderPoints() []scenario.Point {
+	topoSpec, err := scenario.ParseTopology("rrg:n=40,sps=5")
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := scenario.ParseTraffic("permutation")
+	if err != nil {
+		fatal(err)
+	}
+	var pts []scenario.Point
+	for _, frac := range []float64{0.05, 0.1, 0.15, 0.2} {
+		inner, err := scenario.ParseEvaluator("mcf")
+		if err != nil {
+			fatal(err)
+		}
+		pts = append(pts, scenario.Point{
+			Topo: topoSpec, Traffic: tr,
+			Eval: scenario.Failures{Frac: frac, Inner: inner},
+			Seed: 1, Runs: 2, Epsilon: 0.12,
+		})
+	}
+	return pts
+}
+
+// warmExpandPoints is the expansion-step variant: one growth step on the
+// same instance, whose parent is the unexpanded base fabric.
+func warmExpandPoints() []scenario.Point {
+	topoSpec, err := scenario.ParseTopology("expand:n=40,deg=10,sps=5,steps=1")
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := scenario.ParseTraffic("permutation")
+	if err != nil {
+		fatal(err)
+	}
+	ev, err := scenario.ParseEvaluator("mcf")
+	if err != nil {
+		fatal(err)
+	}
+	return []scenario.Point{{
+		Topo: topoSpec, Traffic: tr, Eval: ev,
+		Seed: 1, Runs: 2, Epsilon: 0.12,
+	}}
+}
+
+// benchWarmStart mirrors the repo's BenchmarkSolverWarmStart: cold solves
+// the points from scratch; warm primes the parents' witnesses once
+// outside the timer, then each iteration injects ONLY the witnesses into
+// a fresh cache — so a warm op is witness mapping + seeded solve +
+// flowcheck certification, never a result-cache hit — and every run must
+// actually have warm-started.
+func benchWarmStart(b *testing.B, pts []scenario.Point, warm bool) {
+	b.ReportAllocs()
+	if !warm {
+		for i := 0; i < b.N; i++ {
+			eng := &scenario.Engine{Parallel: 1}
+			if _, err := eng.MeasureRuns(pts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	prime := scenario.NewCache()
+	peng := &scenario.Engine{Parallel: 1, Cache: prime, WarmStart: true}
+	wit := map[string][]float64{}
+	runsTotal := 0
+	for _, p := range pts {
+		runsTotal += p.Runs
+		pp, ok := scenario.ParentPoint(p)
+		if !ok {
+			b.Fatalf("point %s has no parent", p.Key())
+		}
+		if _, err := peng.MeasureRuns([]scenario.Point{pp}); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < p.Runs; i++ {
+			k := scenario.WitnessKey(pp.Key(), i)
+			w, ok := prime.Get(k)
+			if !ok {
+				b.Fatalf("parent solve exported no witness under %s", k)
+			}
+			wit[k] = w
+		}
+	}
+	b.ResetTimer()
+	var last *scenario.Engine
+	for i := 0; i < b.N; i++ {
+		cache := scenario.NewCache()
+		for k, v := range wit {
+			cache.Put(k, v)
+		}
+		eng := &scenario.Engine{Parallel: 1, Cache: cache, WarmStart: true}
+		if _, err := eng.MeasureRuns(pts); err != nil {
+			b.Fatal(err)
+		}
+		last = eng
+	}
+	b.StopTimer()
+	if ws := last.WarmStats(); ws.Starts != int64(runsTotal) {
+		b.Fatalf("warm iteration did not warm-start every run: %+v (want %d starts)", ws, runsTotal)
 	}
 }
 

@@ -103,6 +103,7 @@ func main() {
 		out      = flag.String("o", "", "output file (or directory with -all); default stdout")
 		cacheDir = flag.String("cache-dir", "", "tier the solve cache onto a persistent result store in this directory")
 		jsonOut  = flag.Bool("json", false, "with -scenario: emit the service's canonical JSON response instead of TSV")
+		warm     = flag.Bool("warm-start", false, "with -scenario: seed delta-shaped points (failure ladders, expansion steps) from their parent's stored witness; every warm solve is flowcheck-certified")
 	)
 	flag.Parse()
 
@@ -154,7 +155,7 @@ func main() {
 
 	switch {
 	case *scen != "":
-		if err := runScenario(*scen, *runs, *seed, *eps, par, *out, *jsonOut); err != nil {
+		if err := runScenario(*scen, *runs, *seed, *eps, par, *out, *jsonOut, *warm); err != nil {
 			fatal(err)
 		}
 	case *all:
@@ -185,8 +186,8 @@ func main() {
 
 // runScenario parses and executes one -scenario grid. Flag values apply as
 // defaults; runs/seed/eps inside the grid line win.
-func runScenario(line string, runs int, seed int64, eps float64, par int, outPath string, jsonOut bool) error {
-	eng := &scenario.Engine{Parallel: par, Cache: scenario.Default, SkipInfeasible: true}
+func runScenario(line string, runs int, seed int64, eps float64, par int, outPath string, jsonOut, warm bool) error {
+	eng := &scenario.Engine{Parallel: par, Cache: scenario.Default, SkipInfeasible: true, WarmStart: warm}
 	start := time.Now()
 	w := os.Stdout
 	if outPath != "" {
@@ -238,6 +239,11 @@ func runScenario(line string, runs int, seed int64, eps float64, par int, outPat
 	cs := scenario.Default.Stats()
 	fmt.Fprintf(os.Stderr, "scenario done in %v (cache: %d hits, %d store hits, %d misses)\n",
 		time.Since(start).Round(time.Millisecond), cs.Hits, cs.StoreHits, cs.Misses)
+	if warm {
+		ws := eng.WarmStats()
+		fmt.Fprintf(os.Stderr, "warm-start: %d attempts, %d certified, %d cert fallbacks, %d parent hits, %d parent misses\n",
+			ws.Attempts, ws.Starts, ws.Fallbacks, ws.ParentHits, ws.ParentMisses)
+	}
 	return nil
 }
 

@@ -47,6 +47,7 @@ func runServe(args []string) {
 		jobQueue   = fs.Int("job-queue", 0, "max async jobs resident before submissions get 429 (0 = 16*jobs)")
 		respBytes  = fs.Int64("resp-cache-bytes", 0, "response-byte cache budget (0 = 64 MiB default, negative = disabled)")
 		pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ (off by default)")
+		warmStart  = fs.Bool("warm-start", false, "seed delta-shaped points (failure ladders, expansion steps) from their parent's stored witness; every warm solve is flowcheck-certified")
 	)
 	fs.Parse(args)
 
@@ -62,6 +63,11 @@ func runServe(args []string) {
 		if err != nil {
 			fatal(err)
 		}
+		// Fleet peers probe GET /v1/result for addresses that mostly don't
+		// exist locally; the negative cache absorbs those repeated misses
+		// without touching the filesystem each time (defaults: 4096 entries,
+		// 250ms TTL, invalidated by writes).
+		st.EnableNegativeCache(0, 0)
 		cache.SetBackend(st)
 	}
 	var remote *remotestore.Client
@@ -92,7 +98,7 @@ func runServe(args []string) {
 		// No local disk: the peer is the only durable tier.
 		cache.SetBackend(remote)
 	}
-	eng := &scenario.Engine{Parallel: *workers, Cache: cache, SkipInfeasible: true}
+	eng := &scenario.Engine{Parallel: *workers, Cache: cache, SkipInfeasible: true, WarmStart: *warmStart}
 	svc := service.New(service.Config{
 		Engine: eng, Cache: cache, Store: st,
 		MaxJobs: *jobs, StoreMaxBytes: *maxBytes,

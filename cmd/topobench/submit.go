@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -81,27 +82,75 @@ func runSubmit(args []string) {
 	}
 }
 
-// submitJob POSTs the grid and returns the assigned job id.
+// Submission retry policy — mirrors internal/remotestore's transport
+// policy: a bounded number of attempts with full-jitter exponential
+// backoff, retrying only failures that a later attempt could answer
+// differently (network errors, 429 backpressure, 5xx). An authoritative
+// 4xx — bad grid, malformed request — fails fast: retrying cannot change
+// the answer. Retrying a POST whose accept response was lost can create a
+// duplicate job; that is safe here because the daemon's flight table and
+// solve cache deduplicate the actual work and both jobs yield identical
+// canonical bytes.
+const (
+	submitAttempts    = 3
+	submitBackoffBase = 50 * time.Millisecond
+	submitBackoffMax  = time.Second
+)
+
+// retryableStatus reports whether an HTTP status is worth a retry
+// (transient server state), as opposed to an authoritative verdict.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// submitBackoff returns the full-jitter sleep before attempt k (2-based):
+// uniform over [0, min(submitBackoffMax, base·2^(k−2))].
+func submitBackoff(attempt int, rng *rand.Rand) time.Duration {
+	max := submitBackoffBase << (attempt - 2)
+	if max > submitBackoffMax {
+		max = submitBackoffMax
+	}
+	return time.Duration(rng.Int63n(int64(max) + 1))
+}
+
+// submitJob POSTs the grid and returns the assigned job id, retrying
+// transient transport failures.
 func submitJob(base, grid string) (string, error) {
 	reqBody, _ := json.Marshal(struct {
 		Grid string `json:"grid"`
 	}{grid})
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(reqBody))
-	if err != nil {
-		return "", err
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var lastErr error
+	for attempt := 1; attempt <= submitAttempts; attempt++ {
+		if attempt > 1 {
+			fmt.Fprintf(os.Stderr, "topobench submit: %v (retrying, attempt %d/%d)\n",
+				lastErr, attempt, submitAttempts)
+			time.Sleep(submitBackoff(attempt, rng))
+		}
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			serr := fmt.Errorf("submitting job: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+			if !retryableStatus(resp.StatusCode) {
+				return "", serr
+			}
+			lastErr = serr
+			continue
+		}
+		var acc struct {
+			Job string `json:"job"`
+		}
+		if err := json.Unmarshal(body, &acc); err != nil || acc.Job == "" {
+			return "", fmt.Errorf("submitting job: malformed accept body %q", string(body))
+		}
+		return acc.Job, nil
 	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if resp.StatusCode != http.StatusAccepted {
-		return "", fmt.Errorf("submitting job: %s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	var acc struct {
-		Job string `json:"job"`
-	}
-	if err := json.Unmarshal(body, &acc); err != nil || acc.Job == "" {
-		return "", fmt.Errorf("submitting job: malformed accept body %q", string(body))
-	}
-	return acc.Job, nil
+	return "", fmt.Errorf("submitting job: giving up after %d attempts: %w", submitAttempts, lastErr)
 }
 
 // pollJob polls the job's status until it is terminal and returns the

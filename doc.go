@@ -96,6 +96,39 @@
 // health on /healthz while remote errors are recent, and exposes
 // retry/breaker/claim counters on /metrics.
 //
+// # Incremental evaluation
+//
+// Delta-shaped scenarios need not solve cold. A failure-ladder rung
+// (failures:frac=f) and an expansion step (expand:steps=k) each have a
+// natural parent — the same point at frac=0, the same topology at
+// steps=k−1 — and scenario.ParentPoint derives it canonically, run
+// controls inherited. With warm starts enabled (Engine.WarmStart,
+// `topobench -scenario -warm-start`, `serve -warm-start`) the engine
+// materializes the parent through the ordinary read ladder
+// (memory → disk store → peer replica — witnesses are ordinary
+// content-addressed entries under scenario.WitnessKey, so a witness
+// written by another process or another replica warm-starts this one
+// bit-exactly), maps the parent's dual length witness onto the child's
+// arcs (mcf.MapArcLens), and seeds the Garg–Könemann solve from it
+// (mcf.Options.WarmLens). A warm-seeded solve stops at the full
+// certification gap 3ε against its best dual bound — the exact class
+// flowcheck certifies — instead of re-deriving the length function from
+// scratch; on the benchmark ladder that is a 3–5× end-to-end speedup
+// (SolverWarmStart/{ladder,expand} in the bench snapshot, the ladder's
+// ≥3× floor enforced by cmd/benchjson on every run). The guarantee is
+// not assumed but re-checked: EVERY warm-started result is re-certified
+// by flowcheck before it is published, and a failed certification falls
+// back to a cold solve (Engine.WarmStats counts attempts, certified
+// starts, and fallbacks; /metrics exposes them as warm_*_total).
+// Cold solves are untouched byte-for-byte — warm-starting is opt-in and
+// can only move a value within the certified ε class. Store entries
+// written for a warm-started child carry their parent's content address
+// (TBRS codec v2 parent link, readable by any process), store.PinKey
+// protects parents from Prune eviction while children still seed from
+// them, and a negative-result cache absorbs repeated misses on
+// GET /v1/result so what-if probing stays cheap even when the answer is
+// "not solved yet".
+//
 // # Performance architecture
 //
 // Every figure of the evaluation bottoms out in mcf.Solve, the

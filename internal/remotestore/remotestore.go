@@ -418,11 +418,22 @@ func (c *Client) Load(key string) ([]float64, bool) {
 // informational — callers (scenario.Cache, store.Tiered) count it and
 // move on; remote durability is best-effort by design.
 func (c *Client) Save(key string, vals []float64) error {
+	return c.SaveLinked(key, vals, "")
+}
+
+// SaveLinked is Save with a parent content-address link (store.LinkedSaver):
+// the link rides inside the TBRS body, under the same CRC as the values,
+// so the receiving replica persists the warm-start provenance too.
+func (c *Client) SaveLinked(key string, vals []float64, parentKey string) error {
 	c.mu.Lock()
 	c.st.Saves++
 	c.mu.Unlock()
 	addr := store.Addr(key)
-	body := store.EncodeValues(vals)
+	parent := ""
+	if parentKey != "" {
+		parent = store.Addr(parentKey)
+	}
+	body := store.EncodeLinked(vals, parent)
 	err := c.call(func(ctx context.Context) *attemptErr {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.url(addr), bytes.NewReader(body))
 		if err != nil {

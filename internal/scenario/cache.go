@@ -137,6 +137,22 @@ func (c *Cache) Abandon(key string) {
 // Put stores the run values under key, writing through to the backend
 // when one is attached.
 func (c *Cache) Put(key string, vals []float64) {
+	c.PutLinked(key, vals, "")
+}
+
+// LinkedBackend is the optional backend extension for parent-linked
+// publication (structurally store.LinkedSaver): backends that can record
+// which entry's result warm-started this one implement it. PutLinked
+// falls back to a plain Save — losing the link, never the values — when
+// the backend does not.
+type LinkedBackend interface {
+	SaveLinked(key string, vals []float64, parentKey string) error
+}
+
+// PutLinked is Put carrying the parent point key whose result
+// warm-started this solve (""  for none). The link is durable provenance
+// and observability; lookups never depend on it.
+func (c *Cache) PutLinked(key string, vals []float64, parentKey string) {
 	h := sha256.Sum256([]byte(key))
 	cp := make([]float64, len(vals))
 	copy(cp, vals)
@@ -144,13 +160,41 @@ func (c *Cache) Put(key string, vals []float64) {
 	c.entries[h] = cp
 	backend := c.backend
 	c.mu.Unlock()
-	if backend != nil {
-		if err := backend.Save(key, vals); err != nil {
-			c.mu.Lock()
-			c.storeErrs++
-			c.mu.Unlock()
-		}
+	if backend == nil {
+		return
 	}
+	var err error
+	if lb, ok := backend.(LinkedBackend); ok && parentKey != "" {
+		err = lb.SaveLinked(key, vals, parentKey)
+	} else {
+		err = backend.Save(key, vals)
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.storeErrs++
+		c.mu.Unlock()
+	}
+}
+
+// BackendPinner is the optional backend extension for eviction pinning
+// (structurally store.Store.PinKey/store.Tiered.PinKey): Pin uses it to
+// keep a parent entry resident for the duration of an in-flight warm
+// start, so a concurrent Prune can never evict the entry a delta solve
+// is depending on.
+type BackendPinner interface {
+	PinKey(key string) func()
+}
+
+// Pin pins key's backend entry against eviction, returning an idempotent
+// release. A backend without pinning (or no backend) returns a no-op.
+func (c *Cache) Pin(key string) func() {
+	c.mu.Lock()
+	backend := c.backend
+	c.mu.Unlock()
+	if p, ok := backend.(BackendPinner); ok {
+		return p.PinKey(key)
+	}
+	return func() {}
 }
 
 // Stats reports the cache's lookup counters and resident entries.

@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/hetero"
@@ -93,6 +94,47 @@ type Engine struct {
 	// (hetero.ErrInfeasiblePoint, rrg.ErrInfeasible) as skipped (nil runs,
 	// Stat.OK=false) instead of failing the whole grid.
 	SkipInfeasible bool
+	// WarmStart enables incremental (delta) evaluation: points with a
+	// derivable parent (see ParentPoint) seed their flow solves from the
+	// parent's stored dual witness instead of solving from scratch. Every
+	// warm-started solve is re-certified by flowcheck and falls back to a
+	// cold solve on failure, so enabling this may change a point's value
+	// only within the certified (1+ε) class — never outside it. Requires a
+	// Cache; off by default, preserving byte-exact legacy output.
+	WarmStart bool
+
+	warmAttempts  atomic.Int64
+	warmStarts    atomic.Int64
+	warmFallbacks atomic.Int64
+	parentHits    atomic.Int64
+	parentMisses  atomic.Int64
+
+	warmMu       sync.Mutex
+	warmInflight map[string]*sync.WaitGroup
+}
+
+// WarmStats snapshots the engine's incremental-evaluation counters:
+// Attempts counts runs that entered the solver warm-seeded, Starts the
+// subset that passed flowcheck certification, Fallbacks the subset
+// re-solved cold after a failed certification (Attempts − Starts −
+// Fallbacks were rejected by the solver itself, e.g. unusable seeds).
+// ParentHits counts points whose full parent witness set was already in
+// the cache tiers; ParentMisses points that had to materialize (or do
+// without) their parent.
+type WarmStats struct {
+	Attempts, Starts, Fallbacks int64
+	ParentHits, ParentMisses    int64
+}
+
+// WarmStats reports the engine's warm-start counters.
+func (e *Engine) WarmStats() WarmStats {
+	return WarmStats{
+		Attempts:     e.warmAttempts.Load(),
+		Starts:       e.warmStarts.Load(),
+		Fallbacks:    e.warmFallbacks.Load(),
+		ParentHits:   e.parentHits.Load(),
+		ParentMisses: e.parentMisses.Load(),
+	}
 }
 
 func (e *Engine) pool() *runner.Pool { return runner.New(e.Parallel) }
@@ -194,11 +236,15 @@ func (e *Engine) runPoint(ctx context.Context, p Point) ([]float64, error) {
 			return vals, nil
 		}
 	}
+	pw := e.prepareWarm(ctx, p, key)
+	if pw != nil {
+		defer pw.unpin()
+	}
 	vals, err := runner.Map(e.pool(), p.runs(), func(i int) (float64, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		v, _, err := e.oneRun(ctx, p, i, false)
+		v, _, err := e.oneRun(ctx, p, i, false, pw)
 		return v, err
 	})
 	if err != nil {
@@ -214,9 +260,124 @@ func (e *Engine) runPoint(ctx context.Context, p Point) ([]float64, error) {
 		return nil, err
 	}
 	if e.Cache != nil && key != "" {
-		e.Cache.Put(key, vals)
+		parentKey := ""
+		if pw != nil {
+			parentKey = pw.parentKey
+		}
+		e.Cache.PutLinked(key, vals, parentKey)
 	}
 	return vals, nil
+}
+
+// pointWarm is the per-point warm-start plan prepareWarm assembles for
+// runPoint: the parent's identity and per-run witnesses, plus the pin
+// release keeping the parent's entries eviction-safe while runs consume
+// them.
+type pointWarm struct {
+	parentKey  string
+	kind       parentKind
+	parentTopo Topology
+	// lens[i] is run i's parent witness (nil: that run solves cold).
+	lens  [][]float64
+	unpin func()
+}
+
+// prepareWarm derives the point's parent and gathers its per-run
+// witnesses from the cache tiers (memory → disk → remote), materializing
+// the parent point on a full-tier miss. Returns nil when the point has no
+// derivable parent or no witness could be obtained — the point then runs
+// exactly as with WarmStart off. Never returns an error: warm starts are
+// an optimization, and any failure here degrades to a cold solve.
+func (e *Engine) prepareWarm(ctx context.Context, p Point, key string) *pointWarm {
+	if !e.WarmStart || e.Cache == nil || key == "" {
+		return nil
+	}
+	pp, kind, ok := parentPoint(p)
+	if !ok || pp.Topo.Spec() == "" {
+		return nil
+	}
+	parentKey := pp.Key()
+	load := func() ([][]float64, bool) {
+		lens := make([][]float64, p.runs())
+		all := true
+		for i := range lens {
+			if w, ok := e.Cache.Get(WitnessKey(parentKey, i)); ok {
+				lens[i] = w
+			} else {
+				all = false
+			}
+		}
+		return lens, all
+	}
+	lens, all := load()
+	if all {
+		e.parentHits.Add(1)
+	} else {
+		// Some or all witnesses are missing in every tier: solve the parent
+		// point now (deduplicated per parent key, so concurrent siblings of
+		// a ladder share one materialization). Parents are themselves
+		// delta-shaped points, so this recursion walks expansion ladders
+		// down to their base. A parent that was cached as a result by a
+		// non-warm process has no witnesses to offer; its children solve
+		// cold — a documented degradation, never an error.
+		e.parentMisses.Add(1)
+		e.materializeParent(ctx, pp, parentKey)
+		lens, _ = load()
+	}
+	any := false
+	var unpins []func()
+	for i := range lens {
+		if lens[i] != nil {
+			any = true
+			unpins = append(unpins, e.Cache.Pin(WitnessKey(parentKey, i)))
+		}
+	}
+	if !any {
+		return nil
+	}
+	// Pin the parent's result entry too: the in-flight warm start is what
+	// makes this entry "hot", and a concurrent store Prune must not evict
+	// it (or the witnesses above) mid-flight.
+	unpins = append(unpins, e.Cache.Pin(parentKey))
+	return &pointWarm{
+		parentKey:  parentKey,
+		kind:       kind,
+		parentTopo: pp.Topo,
+		lens:       lens,
+		unpin: func() {
+			for _, u := range unpins {
+				u()
+			}
+		},
+	}
+}
+
+// materializeParent solves the parent point so its witnesses land in the
+// cache, deduplicating concurrent requests per parent key. The solve's
+// error (if any) is deliberately dropped: the children fall back to cold
+// solves and the error resurfaces if the parent point is ever evaluated
+// in its own right.
+func (e *Engine) materializeParent(ctx context.Context, pp Point, parentKey string) {
+	e.warmMu.Lock()
+	if wg, ok := e.warmInflight[parentKey]; ok {
+		e.warmMu.Unlock()
+		wg.Wait()
+		return
+	}
+	if e.warmInflight == nil {
+		e.warmInflight = map[string]*sync.WaitGroup{}
+	}
+	wg := &sync.WaitGroup{}
+	wg.Add(1)
+	e.warmInflight[parentKey] = wg
+	e.warmMu.Unlock()
+	defer func() {
+		e.warmMu.Lock()
+		delete(e.warmInflight, parentKey)
+		e.warmMu.Unlock()
+		wg.Done()
+	}()
+	_, _ = e.runPoint(ctx, pp)
 }
 
 // MeasureDetailed evaluates every point keeping each run's full result
@@ -229,7 +390,7 @@ func (e *Engine) MeasureDetailed(pts []Point) ([][]Detail, error) {
 			return nil, fmt.Errorf("scenario: evaluator %s has no detailed mode", p.Eval.Spec())
 		}
 		dets, err := runner.Map(e.pool(), p.runs(), func(run int) (Detail, error) {
-			_, d, err := e.oneRun(context.Background(), p, run, true)
+			_, d, err := e.oneRun(context.Background(), p, run, true, nil)
 			return d, err
 		})
 		if err != nil {
@@ -244,26 +405,67 @@ func (e *Engine) MeasureDetailed(pts []Point) ([][]Detail, error) {
 
 // oneRun executes run i of a point: one RNG stream through build, traffic,
 // and evaluation. cctx's cancellation is handed to the evaluator; it never
-// influences a completed run's value.
-func (e *Engine) oneRun(cctx context.Context, p Point, i int, keep bool) (float64, Detail, error) {
+// influences a completed run's value. pw, when non-nil, carries the
+// point's warm-start plan: run i is seeded from pw.lens[i] and the run's
+// own witness is stored for the point's future children.
+func (e *Engine) oneRun(cctx context.Context, p Point, i int, keep bool, pw *pointWarm) (float64, Detail, error) {
 	rng := rand.New(rand.NewSource(p.Seed*p.seedFactor() + int64(i)))
 	g, err := p.Topo.Build(rng)
 	if err != nil {
 		return 0, Detail{}, fmt.Errorf("build run %d: %w", i, err)
 	}
 	ctx := &EvalContext{G: g, Rng: rng, Epsilon: p.Epsilon, Cancel: cctx.Done()}
+	var w *WarmExchange
+	if e.WarmStart {
+		w = &WarmExchange{}
+		ctx.Warm = w
+		if pw != nil && i < len(pw.lens) && pw.lens[i] != nil {
+			switch pw.kind {
+			case deltaEval:
+				// An evaluator delta's parent solved (a clone of) this very
+				// graph: same stream prefix, degradation not yet applied.
+				w.ParentG, w.ParentLens = g, pw.lens[i]
+				e.warmAttempts.Add(1)
+			case deltaTopo:
+				// A topology delta's parent graph is rebuilt on a fresh copy
+				// of the run's stream — identical prefix, one step shorter.
+				prng := rand.New(rand.NewSource(p.Seed*p.seedFactor() + int64(i)))
+				if pg, perr := pw.parentTopo.Build(prng); perr == nil {
+					w.ParentG, w.ParentLens = pg, pw.lens[i]
+					e.warmAttempts.Add(1)
+				}
+			}
+		}
+	}
 	if p.Traffic != nil {
 		ctx.TM, err = p.Traffic.Matrix(rng, g)
 		if err != nil {
 			return 0, Detail{}, err
 		}
 	}
+	var v float64
+	var d Detail
 	if keep {
-		d, err := p.Eval.(DetailedEvaluator).EvaluateDetailed(ctx)
-		return d.Value, d, err
+		d, err = p.Eval.(DetailedEvaluator).EvaluateDetailed(ctx)
+		v = d.Value
+	} else {
+		v, err = p.Eval.Evaluate(ctx)
 	}
-	v, err := p.Eval.Evaluate(ctx)
-	return v, Detail{}, err
+	if w != nil && err == nil {
+		if w.WarmStarted {
+			e.warmStarts.Add(1)
+		}
+		if w.CertFallback {
+			e.warmFallbacks.Add(1)
+		}
+		if e.Cache != nil && w.Witness != nil && p.Topo.Spec() != "" {
+			// Publish the run's witness as an ordinary cache entry so this
+			// point's future children (in this process or any replica) can
+			// warm-start from it.
+			e.Cache.Put(WitnessKey(p.Key(), i), w.Witness)
+		}
+	}
+	return v, d, err
 }
 
 // MaxAtFull binary-searches the largest size in [lo, hi] whose point still

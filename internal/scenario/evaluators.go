@@ -57,7 +57,14 @@ func (e MCF) Evaluate(ctx *EvalContext) (float64, error) {
 }
 
 func (MCF) EvaluateDetailed(ctx *EvalContext) (Detail, error) {
-	res, err := mcf.Solve(ctx.G, ctx.TM.Flows, mcf.Options{Epsilon: ctx.Epsilon, Cancel: ctx.Cancel})
+	opt := mcf.Options{Epsilon: ctx.Epsilon, Cancel: ctx.Cancel}
+	w := ctx.Warm
+	if w != nil && w.ParentLens != nil {
+		// Seed the solve from the parent's witness mapped onto this run's
+		// graph. A failed mapping yields nil and the solve runs cold.
+		opt.WarmLens = MapArcLens(w.ParentG, ctx.G, w.ParentLens)
+	}
+	res, err := mcf.Solve(ctx.G, ctx.TM.Flows, opt)
 	if errors.Is(err, mcf.ErrUnreachable) {
 		// A disconnected instance (e.g. zero cross-cluster links) has zero
 		// concurrent throughput; report it rather than failing the sweep.
@@ -68,6 +75,30 @@ func (MCF) EvaluateDetailed(ctx *EvalContext) (Detail, error) {
 	}
 	if err != nil {
 		return Detail{}, err
+	}
+	if res.WarmStarted {
+		// The Fleischer (1+ε) guarantee is re-certified on every
+		// warm-started solve rather than assumed: flowcheck checks capacity
+		// feasibility and, against the independent-Dijkstra dual bound of
+		// the exported witness, the ε-optimality gap. A solve that fails
+		// certification is re-run cold — warm starts may cost a wasted
+		// solve, never wrong data.
+		rep, verr := flowcheck.Verify(ctx.G, ctx.TM.Flows, res, flowcheck.Options{})
+		if verr != nil || !rep.OK() {
+			w.CertFallback = true
+			opt.WarmLens = nil
+			res, err = mcf.Solve(ctx.G, ctx.TM.Flows, opt)
+			if err != nil {
+				return Detail{}, err
+			}
+		} else {
+			w.WarmStarted = true
+		}
+	}
+	if w != nil {
+		// Export this solve's witness so the engine can store it for the
+		// point's future children (cold solves seed children too).
+		w.Witness = res.DualLens
 	}
 	return Detail{Value: res.Throughput, G: ctx.G, Res: res}, nil
 }
@@ -196,6 +227,18 @@ func (e Failures) Evaluate(ctx *EvalContext) (float64, error) {
 	inner := *ctx
 	inner.G = fg
 	return e.Inner.Evaluate(&inner)
+}
+
+// ParentEvaluator makes a failure rung delta-shaped: its parent is the
+// same evaluation at frac=0, which degrades nothing (FailRandomLinks at
+// zero is a clone, consuming no RNG), so the parent's solved graph is
+// arc-identical to the child run's intact built graph and its witness
+// maps onto the failed graph by surviving-link matching.
+func (e Failures) ParentEvaluator() (Evaluator, bool) {
+	if e.Frac <= 0 {
+		return nil, false
+	}
+	return Failures{Frac: 0, Inner: e.Inner}, true
 }
 
 // embedSpec/unembedSpec translate a nested evaluator spec into a form a

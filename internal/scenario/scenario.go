@@ -106,6 +106,11 @@ type EvalContext struct {
 	// return the cancellation as an error; cancellation may abort a run,
 	// never change a completed run's value.
 	Cancel <-chan struct{}
+	// Warm, when non-nil, is the warm-start exchange between the engine
+	// and delta-aware evaluators (see WarmExchange). Wrapper evaluators
+	// copy EvalContext by value, so the pointer travels into nested
+	// contexts and the innermost solve reports back through it.
+	Warm *WarmExchange
 }
 
 // ---- registries ----

@@ -346,6 +346,21 @@ func (t *Expand) Build(rng *rand.Rand) (*graph.Graph, error) {
 	return g, nil
 }
 
+// ParentTopology makes an expansion step delta-shaped: the parent is the
+// same growth at steps−1. Both points build from the same RNG stream, so
+// the first steps−1 expansions are draw-for-draw identical and the parent
+// graph is the child graph minus the last switch — its witness maps onto
+// the child by surviving-link matching, with the rewired and new links
+// taking the solver's neutral prior.
+func (t *Expand) ParentTopology() (Topology, bool) {
+	if t.Steps <= 0 {
+		return nil, false
+	}
+	p := *t
+	p.Steps--
+	return &p, true
+}
+
 func parseExpand(p Params) (Topology, error) {
 	r := p.Reader()
 	t := &Expand{

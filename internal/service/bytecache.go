@@ -33,8 +33,10 @@ import (
 
 // respSchemaVersion versions the byte-cache key against changes to the
 // canonical EvalResponse encoding. Bump it whenever MarshalCanonical's
-// output for an unchanged grid could change.
-const respSchemaVersion uint16 = 1
+// output for an unchanged grid could change. v2: warm-start landed —
+// grids evaluated under an engine with incremental evaluation enabled may
+// produce values in a different (certified-equal) ε class than v1's.
+const respSchemaVersion uint16 = 2
 
 // respKey is a byte-cache key: the SHA-256 of the versioned preimage.
 // Using the raw digest as the map key keeps the hot lookup free of hex

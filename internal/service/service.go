@@ -762,10 +762,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Write(raw)
 		return
 	}
+	// The JSON view also surfaces the entry's parent link (the content
+	// address of the result whose witness warm-started this solve), when
+	// the codec recorded one.
+	_, parent, _ := store.DecodeEntry(raw)
 	body, err := json.MarshalIndent(struct {
 		Key    string    `json:"key"`
 		Values []float64 `json:"values"`
-	}{key, vals}, "", "  ")
+		Parent string    `json:"parent,omitempty"`
+	}{key, vals, parent}, "", "  ")
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -804,13 +809,13 @@ func (s *Server) handlePutResult(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("entry exceeds %d bytes", maxPutBytes))
 		return
 	}
-	vals, ok := store.DecodeValues(body)
+	vals, parent, ok := store.DecodeEntry(body)
 	if !ok {
 		s.putBad.Add(1)
 		writeError(w, http.StatusBadRequest, errors.New("entry failed codec/CRC verification"))
 		return
 	}
-	if err := s.cfg.Store.SaveAddr(key, vals); err != nil {
+	if err := s.cfg.Store.SaveAddrLinked(key, vals, parent); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -909,8 +914,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g("store_corrupt_total", ss.Corrupt)
 		g("store_evicted_total", ss.Evicted)
 		g("store_orphans_total", ss.Orphans)
+		g("store_negative_hits_total", ss.NegHits)
+		g("store_parent_links_total", ss.ParentLinks)
 		g("store_entries", int64(ss.Entries))
 		g("store_bytes", ss.Bytes)
+	}
+	if e := s.cfg.Engine; e != nil {
+		ws := e.WarmStats()
+		g("warm_attempts_total", ws.Attempts)
+		g("warm_starts_total", ws.Starts)
+		g("warm_cert_fallbacks_total", ws.Fallbacks)
+		g("warm_parent_hits_total", ws.ParentHits)
+		g("warm_parent_misses_total", ws.ParentMisses)
 	}
 	if t := s.cfg.Tiered; t != nil {
 		ts := t.Stats()

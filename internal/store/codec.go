@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/binary"
+	"encoding/hex"
 	"hash/crc32"
 	"math"
 )
@@ -11,39 +12,70 @@ import (
 //	offset  size  field
 //	0       4     magic "TBRS"
 //	4       2     codec version (little-endian uint16)
-//	6       2     reserved (zero)
+//	6       2     flags (little-endian uint16; bit 0 = parent link present)
 //	8       4     value count (little-endian uint32)
 //	12      8·n   IEEE-754 float64 values, little-endian bit patterns
-//	12+8n   4     CRC-32 (IEEE) of bytes [0, 12+8n)
+//	12+8n   32    parent content address (raw SHA-256), iff flag bit 0
+//	…       4     CRC-32 (IEEE) of everything before it
 //
 // decode treats ANY deviation — short file, wrong magic, foreign codec
-// version, count/length mismatch, checksum failure — as "no entry": a
-// store can only ever return exactly what encode wrote, never garbage.
+// version, unknown flag bits, count/length mismatch, checksum failure —
+// as "no entry": a store can only ever return exactly what encode wrote,
+// never garbage.
+//
+// The parent link (codec v2) records which entry's solve warm-started
+// this one — the delta-evaluation chain made durable, so a fresh process
+// or a peer replica can observe the provenance of an incremental result.
+// The link is an optimization/observability hint, never load-bearing for
+// correctness: a reader that ignores it (DecodeValues) still gets exactly
+// the certified run values.
 //
 // CodecVersion must be bumped whenever the encoding of values changes
 // (layout, semantics, or the meaning of a run value): entries written by
 // an older codec then simply read as misses and are re-solved, so a
-// version bump can never resurrect stale bytes as fresh results.
+// version bump can never resurrect stale bytes as fresh results. v1→v2
+// added the flags word and the parent link; every v1 entry on disk reads
+// as a miss once, then is re-solved and rewritten under v2.
 const (
-	CodecVersion uint16 = 1
+	CodecVersion uint16 = 2
 
 	headerSize  = 12
 	trailerSize = 4
+	parentSize  = 32 // raw SHA-256 of the parent entry's cache key
+
+	// flagParent marks an entry carrying a parent content-address link.
+	flagParent uint16 = 1 << 0
+	// knownFlags is the set decode accepts; any other bit means a future
+	// (or corrupt) writer and the entry reads as a miss.
+	knownFlags = flagParent
 )
 
 var magic = [4]byte{'T', 'B', 'R', 'S'}
 
-// encode serializes run values into the versioned entry format.
-func encode(vals []float64) []byte {
-	buf := make([]byte, headerSize+8*len(vals)+trailerSize)
+// encode serializes run values into the versioned entry format, with an
+// optional parent content-address link (parent is "" or 64 hex chars; a
+// malformed parent is silently dropped rather than corrupting the entry).
+func encode(vals []float64, parent string) []byte {
+	var link []byte
+	if len(parent) == 2*parentSize {
+		if raw, err := hex.DecodeString(parent); err == nil {
+			link = raw
+		}
+	}
+	n := headerSize + 8*len(vals) + len(link)
+	buf := make([]byte, n+trailerSize)
 	copy(buf[0:4], magic[:])
 	binary.LittleEndian.PutUint16(buf[4:6], CodecVersion)
+	if link != nil {
+		binary.LittleEndian.PutUint16(buf[6:8], flagParent)
+	}
 	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(vals)))
 	for i, v := range vals {
 		binary.LittleEndian.PutUint64(buf[headerSize+8*i:], math.Float64bits(v))
 	}
-	sum := crc32.ChecksumIEEE(buf[:headerSize+8*len(vals)])
-	binary.LittleEndian.PutUint32(buf[headerSize+8*len(vals):], sum)
+	copy(buf[headerSize+8*len(vals):], link)
+	sum := crc32.ChecksumIEEE(buf[:n])
+	binary.LittleEndian.PutUint32(buf[n:], sum)
 	return buf
 }
 
@@ -52,42 +84,68 @@ func encode(vals []float64) []byte {
 // between stores verbatim (the remote-store wire format is exactly the
 // on-disk format, so the CRC travels with the values and the receiver
 // re-verifies it).
-func EncodeValues(vals []float64) []byte { return encode(vals) }
+func EncodeValues(vals []float64) []byte { return encode(vals, "") }
+
+// EncodeLinked is EncodeValues plus a parent content-address link (hex;
+// "" for none) — the linked-entry wire format.
+func EncodeLinked(vals []float64, parent string) []byte { return encode(vals, parent) }
 
 // DecodeValues parses entry bytes, ok=false on any corruption, version
 // mismatch, or truncation — the receiving end of EncodeValues. A decoded
-// entry is exactly what some encode produced; garbage never parses.
-func DecodeValues(buf []byte) ([]float64, bool) { return decode(buf) }
-
-// decode parses an entry, returning ok=false on any corruption, version
-// mismatch, or truncation.
-func decode(buf []byte) ([]float64, bool) {
-	return decodeAppend(buf, nil)
+// entry is exactly what some encode produced; garbage never parses. A
+// parent link, if present, is verified (it is under the CRC) but not
+// returned; use DecodeEntry to read it.
+func DecodeValues(buf []byte) ([]float64, bool) {
+	vals, _, ok := decodeEntry(buf, nil)
+	return vals, ok
 }
 
-// decodeAppend is decode with caller-owned value scratch: parsed values
-// are appended to vals (which may be nil or a reused slice sliced to
-// zero length), so a hot read loop decodes entry after entry without
-// allocating a fresh values slice per entry. The verification rules are
-// decode's exactly — any deviation is "no entry" — and on ok=false the
-// returned slice is vals untouched.
+// DecodeEntry parses entry bytes including the parent content-address
+// link ("" when the entry carries none). Verification rules are
+// DecodeValues's exactly.
+func DecodeEntry(buf []byte) (vals []float64, parent string, ok bool) {
+	return decodeEntry(buf, nil)
+}
+
+// decodeAppend is DecodeValues with caller-owned value scratch: parsed
+// values are appended to vals (which may be nil or a reused slice sliced
+// to zero length), so a hot read loop decodes entry after entry without
+// allocating a fresh values slice per entry. On ok=false the returned
+// slice is vals untouched.
 func decodeAppend(buf []byte, vals []float64) ([]float64, bool) {
+	out, _, ok := decodeEntry(buf, vals)
+	return out, ok
+}
+
+// decodeEntry parses an entry, returning ok=false on any corruption,
+// version mismatch, unknown flags, or truncation. Values are appended to
+// vals (nil allocates fresh).
+func decodeEntry(buf []byte, vals []float64) ([]float64, string, bool) {
 	if len(buf) < headerSize+trailerSize {
-		return vals, false
+		return vals, "", false
 	}
 	if [4]byte(buf[0:4]) != magic {
-		return vals, false
+		return vals, "", false
 	}
 	if binary.LittleEndian.Uint16(buf[4:6]) != CodecVersion {
-		return vals, false
+		return vals, "", false
+	}
+	flags := binary.LittleEndian.Uint16(buf[6:8])
+	if flags&^knownFlags != 0 {
+		return vals, "", false
+	}
+	extra := 0
+	if flags&flagParent != 0 {
+		extra = parentSize
 	}
 	n := binary.LittleEndian.Uint32(buf[8:12])
-	if n > (1<<31-headerSize-trailerSize)/8 || len(buf) != headerSize+8*int(n)+trailerSize {
-		return vals, false
+	if n > (1<<31-headerSize-trailerSize-parentSize)/8 ||
+		len(buf) != headerSize+8*int(n)+extra+trailerSize {
+		return vals, "", false
 	}
-	body := buf[:headerSize+8*int(n)]
+	body := buf[:headerSize+8*int(n)+extra]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(buf[len(body):]) {
-		return vals, false
+		return vals, "", false
 	}
 	if vals == nil {
 		// A successful decode always yields a non-nil slice, even for the
@@ -98,5 +156,9 @@ func decodeAppend(buf []byte, vals []float64) ([]float64, bool) {
 	for i := 0; i < int(n); i++ {
 		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(buf[headerSize+8*i:])))
 	}
-	return vals, true
+	parent := ""
+	if extra > 0 {
+		parent = hex.EncodeToString(buf[headerSize+8*int(n) : headerSize+8*int(n)+parentSize])
+	}
+	return vals, parent, true
 }

@@ -54,6 +54,15 @@ type Store struct {
 	corrupt int64
 	evicted int64
 	orphans int64
+	// parentLinks counts entries written with a parent content-address
+	// link (SaveAddrLinked with a non-empty parent).
+	parentLinks int64
+
+	// neg, when enabled, short-circuits repeated misses on addresses known
+	// to be absent, so a hot 404 path costs a map probe instead of a disk
+	// stat per request. See EnableNegativeCache.
+	neg     *negCache
+	negHits int64
 
 	// loadHook, when set (tests only), runs after a Load has pinned its
 	// entry and released the lock, before the file is read — the window a
@@ -86,8 +95,14 @@ type Stats struct {
 	// writer that died between CreateTemp and the publishing rename (a
 	// SIGKILL mid-Save) leaves a .tmp-* file no entry ever points to.
 	Orphans int64
-	Entries int   // resident entries in the index
-	Bytes   int64 // total size of resident entries
+	// NegHits counts misses answered by the negative cache — repeated
+	// lookups of absent addresses that skipped the disk stat.
+	NegHits int64
+	// ParentLinks counts entries written with a parent content-address
+	// link — the durable trace of warm-started (delta) solves.
+	ParentLinks int64
+	Entries     int   // resident entries in the index
+	Bytes       int64 // total size of resident entries
 }
 
 // Addr is the content address of a cache key: lowercase hex SHA-256. It
@@ -204,6 +219,18 @@ func (s *Store) LoadAddr(addr string) ([]float64, bool) {
 // LoadAddr is preserved: misses, corruption-as-miss (the damaged file is
 // dropped), pinning against concurrent Prune, and the stats counters.
 func (s *Store) LoadAddrBuf(addr string, buf []byte, vals []float64) (raw []byte, out []float64, ok bool) {
+	return s.loadAddrBuf(addr, buf, vals, true)
+}
+
+// loadAddrFresh is LoadAddr bypassing the negative cache — the claim-wait
+// poll path, which exists precisely to observe another process's publish
+// the moment it lands and must not be blinded by a recent negative probe.
+func (s *Store) loadAddrFresh(addr string) ([]float64, bool) {
+	_, vals, ok := s.loadAddrBuf(addr, nil, nil, false)
+	return vals, ok
+}
+
+func (s *Store) loadAddrBuf(addr string, buf []byte, vals []float64, useNeg bool) (raw []byte, out []float64, ok bool) {
 	if len(addr) != 2*sha256.Size || !isHex(addr) {
 		s.mu.Lock()
 		s.misses++
@@ -215,12 +242,27 @@ func (s *Store) LoadAddrBuf(addr string, buf []byte, vals []float64) (raw []byte
 	e, found := s.index[addr]
 	if !found {
 		// The entry may have been published by another process after this
-		// handle indexed the tree; adopt it if the file exists.
+		// handle indexed the tree; adopt it if the file exists. The
+		// negative cache remembers recent failed probes so a hot 404 path
+		// (a client polling an address nobody has solved) does not pay a
+		// disk stat per lookup; entries expire after a short TTL, bounding
+		// how long another process's out-of-band publish can stay unseen.
+		if useNeg && s.neg != nil && s.neg.fresh(addr, time.Now()) {
+			s.negHits++
+			s.misses++
+			s.mu.Unlock()
+			return nil, nil, false
+		}
 		if info, err := os.Stat(path); err == nil {
 			e = &entry{size: info.Size()}
 			s.index[addr] = e
 			s.bytes += e.size
 			found = true
+			if s.neg != nil {
+				s.neg.drop(addr)
+			}
+		} else if s.neg != nil {
+			s.neg.add(addr, time.Now())
 		}
 	}
 	if !found {
@@ -305,19 +347,43 @@ func (s *Store) Save(key string, vals []float64) error {
 	return s.SaveAddr(Addr(key), vals)
 }
 
+// SaveLinked is Save with a parent content-address link: the entry
+// records (codec v2) which entry's result warm-started this solve.
+// parentKey is the parent's cache KEY (hashed here); "" writes an
+// unlinked entry.
+func (s *Store) SaveLinked(key string, vals []float64, parentKey string) error {
+	parent := ""
+	if parentKey != "" {
+		parent = Addr(parentKey)
+	}
+	return s.SaveAddrLinked(Addr(key), vals, parent)
+}
+
 // SaveAddr is Save by precomputed content address — the receiving end of
 // the service's PUT /v1/result/<key> route, where only the address is on
 // the wire. The address must be a well-formed content address; the caller
 // vouches that vals were solved under the key hashing to it.
 func (s *Store) SaveAddr(addr string, vals []float64) error {
+	return s.SaveAddrLinked(addr, vals, "")
+}
+
+// SaveAddrLinked is SaveAddr with an optional parent content address
+// (lowercase hex, or "" for none) recorded in the entry's codec-v2 parent
+// link. A malformed parent is an error, like a malformed address: links
+// exist to be followed, so a link that cannot be followed must fail loudly
+// at write time rather than silently degrade.
+func (s *Store) SaveAddrLinked(addr string, vals []float64, parent string) error {
 	if len(addr) != 2*sha256.Size || !isHex(addr) {
 		return fmt.Errorf("store: malformed content address %q", addr)
+	}
+	if parent != "" && (len(parent) != 2*sha256.Size || !isHex(parent)) {
+		return fmt.Errorf("store: malformed parent content address %q", parent)
 	}
 	shard := filepath.Join(s.dir, addr[:2])
 	if err := os.MkdirAll(shard, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	buf := encode(vals)
+	buf := encode(vals, parent)
 	tmp, err := os.CreateTemp(shard, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -345,6 +411,14 @@ func (s *Store) SaveAddr(addr string, vals []float64) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.writes++
+	if parent != "" {
+		s.parentLinks++
+	}
+	if s.neg != nil {
+		// The address exists now: a negative entry recorded before this
+		// publish must not outlive it.
+		s.neg.drop(addr)
+	}
 	s.clock++
 	if e, ok := s.index[addr]; ok {
 		s.bytes += int64(len(buf)) - e.size
@@ -428,6 +502,101 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		Hits: s.hits, Misses: s.misses, Writes: s.writes,
 		Corrupt: s.corrupt, Evicted: s.evicted, Orphans: s.orphans,
+		NegHits: s.negHits, ParentLinks: s.parentLinks,
 		Entries: len(s.index), Bytes: s.bytes,
 	}
+}
+
+// PinKey pins the entry stored under key against Prune eviction for the
+// duration of an external use — an in-flight warm start reading the
+// parent's witness, say — returning a release function (idempotent; call
+// it exactly when the use ends). Pinning an absent entry is a no-op whose
+// release does nothing: pins protect what exists, they do not reserve
+// addresses.
+func (s *Store) PinKey(key string) func() {
+	return s.PinAddr(Addr(key))
+}
+
+// PinAddr is PinKey by precomputed content address. It shares the
+// eviction exclusion with in-flight Loads (entry.pins), so a pinned
+// parent entry survives any Prune that runs while a warm start depends on
+// it — the parent-link extension of the pinned-read rule.
+func (s *Store) PinAddr(addr string) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[addr]
+	if !ok {
+		return func() {}
+	}
+	e.pins++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			e.pins--
+			s.mu.Unlock()
+		})
+	}
+}
+
+// EnableNegativeCache attaches a bounded negative cache of at most max
+// addresses with the given TTL (both > 0; zero values pick 4096 entries
+// and 250ms). Repeated lookups of an absent address within the TTL are
+// answered from memory instead of stat'ing the disk — the hot-404 path of
+// GET /v1/result. The TTL bounds cross-process staleness: another
+// process's publish becomes visible at worst one TTL late on this handle
+// (same-handle Saves invalidate immediately, and the claim-wait poll path
+// bypasses the negative cache entirely).
+func (s *Store) EnableNegativeCache(max int, ttl time.Duration) {
+	if max <= 0 {
+		max = 4096
+	}
+	if ttl <= 0 {
+		ttl = 250 * time.Millisecond
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.neg = &negCache{max: max, ttl: ttl, at: map[string]time.Time{}}
+}
+
+// negCache is the bounded absent-address memo. All methods are called
+// under the store lock. Eviction is FIFO by insertion order: negative
+// entries are worth at most one TTL, so recency refinements buy nothing.
+type negCache struct {
+	max  int
+	ttl  time.Duration
+	at   map[string]time.Time // addr -> when the failed probe happened
+	fifo []string
+}
+
+func (n *negCache) fresh(addr string, now time.Time) bool {
+	t, ok := n.at[addr]
+	if !ok {
+		return false
+	}
+	if now.Sub(t) >= n.ttl {
+		delete(n.at, addr)
+		return false
+	}
+	return true
+}
+
+func (n *negCache) add(addr string, now time.Time) {
+	if _, ok := n.at[addr]; ok {
+		n.at[addr] = now
+		return
+	}
+	for len(n.at) >= n.max && len(n.fifo) > 0 {
+		old := n.fifo[0]
+		n.fifo = n.fifo[1:]
+		delete(n.at, old)
+	}
+	n.at[addr] = now
+	n.fifo = append(n.fifo, addr)
+}
+
+func (n *negCache) drop(addr string) {
+	// The fifo keeps the address; a later eviction of an already-dropped
+	// entry is harmless (delete of an absent key).
+	delete(n.at, addr)
 }

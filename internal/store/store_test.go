@@ -3,11 +3,13 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestRoundTripAcrossHandles is the durability contract: values written
@@ -322,9 +324,178 @@ func TestCodecRoundTrip(t *testing.T) {
 		{0.1, 0.2, 0.30000000000000004},
 	}
 	for _, vals := range cases {
-		got, ok := decode(encode(vals))
+		got, ok := DecodeValues(encode(vals, ""))
 		if !ok || !reflect.DeepEqual(got, vals) {
 			t.Fatalf("codec round trip %v -> %v (%v)", vals, got, ok)
 		}
+	}
+}
+
+// TestPruneNeverEvictsPinnedParent is the warm-start extension of the
+// pinned-read rule: an entry pinned via PinKey (an in-flight delta solve
+// depending on its parent's witness) survives any Prune, however far over
+// budget the store is, and becomes evictable again only after release.
+func TestPruneNeverEvictsPinnedParent(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	want := []float64{4, 5, 6}
+	if err := s.Save("parent", want); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Save(fmt.Sprintf("filler%d", i), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release := s.PinKey("parent")
+	if s.Prune(0) != 5 {
+		t.Fatal("prune did not evict exactly the unpinned entries")
+	}
+	if vals, ok := s.Load("parent"); !ok || !reflect.DeepEqual(vals, want) {
+		t.Fatalf("pinned parent evicted or damaged: %v %v", vals, ok)
+	}
+	// Release is idempotent; after it the entry prunes normally.
+	release()
+	release()
+	if s.Prune(0) != 1 {
+		t.Fatal("released parent not evicted")
+	}
+	if _, ok := s.Load("parent"); ok {
+		t.Fatal("parent survived post-release prune")
+	}
+	// Pinning an address that holds no entry is a harmless no-op.
+	s.PinKey("absent")()
+}
+
+// TestNegativeCache: repeated lookups of an absent address are answered
+// from the negative cache within the TTL (no disk stat), a Save
+// invalidates the negative entry immediately, and entries expire.
+func TestNegativeCache(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	s.EnableNegativeCache(4, 50*time.Millisecond)
+
+	if _, ok := s.Load("ghost"); ok {
+		t.Fatal("absent key loaded")
+	}
+	if _, ok := s.Load("ghost"); ok {
+		t.Fatal("absent key loaded")
+	}
+	if st := s.Stats(); st.NegHits != 1 || st.Misses != 2 {
+		t.Fatalf("negative cache did not absorb the repeat miss: %+v", st)
+	}
+
+	// A write through this handle drops the negative entry at once: the
+	// very next lookup must see the fresh value.
+	if err := s.Save("ghost", []float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if vals, ok := s.Load("ghost"); !ok || vals[0] != 7 {
+		t.Fatalf("negative entry outlived the publish: %v %v", vals, ok)
+	}
+
+	// Out-of-band publishes (another process) become visible after the
+	// TTL: a fresh store handle on the same dir stands in for the writer.
+	if _, ok := s.Load("late"); ok {
+		t.Fatal("absent key loaded")
+	}
+	if err := mustOpen(t, dir).Save("late", []float64{8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load("late"); ok {
+		t.Fatal("negative entry expired early")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if vals, ok := s.Load("late"); !ok || vals[0] != 8 {
+		t.Fatalf("publish invisible after TTL: %v %v", vals, ok)
+	}
+
+	// The memo is bounded: overflowing it evicts oldest-first rather than
+	// growing without limit.
+	for i := 0; i < 10; i++ {
+		s.Load(fmt.Sprintf("bulk%d", i))
+	}
+	if n := len(s.neg.at); n > 4 {
+		t.Fatalf("negative cache grew to %d entries, bound is 4", n)
+	}
+}
+
+// TestCodecLinkedRoundTrip exercises the codec v2 parent link: linked
+// entries round-trip values and parent address, DecodeValues still
+// verifies and ignores the link, and malformed parents are dropped at
+// encode time rather than corrupting the entry.
+func TestCodecLinkedRoundTrip(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	parent := Addr("the parent key")
+	buf := EncodeLinked(vals, parent)
+	got, gotParent, ok := DecodeEntry(buf)
+	if !ok || !reflect.DeepEqual(got, vals) || gotParent != parent {
+		t.Fatalf("linked round trip: %v %q %v", got, gotParent, ok)
+	}
+	if got, ok := DecodeValues(buf); !ok || !reflect.DeepEqual(got, vals) {
+		t.Fatalf("DecodeValues on linked entry: %v %v", got, ok)
+	}
+	// Unlinked entries report no parent.
+	if _, p, ok := DecodeEntry(EncodeValues(vals)); !ok || p != "" {
+		t.Fatalf("unlinked entry carries parent %q (%v)", p, ok)
+	}
+	// A malformed parent cannot be followed, so encode drops it.
+	if _, p, ok := DecodeEntry(EncodeLinked(vals, "not-hex")); !ok || p != "" {
+		t.Fatalf("malformed parent survived encode: %q %v", p, ok)
+	}
+}
+
+// TestCodecRejectsForeignEntries: entries from other codec versions or
+// with unknown flag bits read as misses — never as values.
+func TestCodecRejectsForeignEntries(t *testing.T) {
+	buf := EncodeValues([]float64{1, 2})
+
+	// A v1 writer's entry: same layout, older version word, valid CRC.
+	v1 := append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint16(v1[4:6], 1)
+	binary.LittleEndian.PutUint32(v1[len(v1)-4:], crc32.ChecksumIEEE(v1[:len(v1)-4]))
+	if _, ok := DecodeValues(v1); ok {
+		t.Fatal("v1 entry decoded under the v2 codec")
+	}
+
+	// A future writer's entry: unknown flag bit, valid CRC.
+	future := append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint16(future[6:8], 1<<7)
+	binary.LittleEndian.PutUint32(future[len(future)-4:], crc32.ChecksumIEEE(future[:len(future)-4]))
+	if _, ok := DecodeValues(future); ok {
+		t.Fatal("unknown-flag entry decoded")
+	}
+
+	// A linked entry with its parent bytes truncated fails the length
+	// check.
+	linked := EncodeLinked([]float64{1, 2}, Addr("p"))
+	if _, _, ok := DecodeEntry(linked[:len(linked)-8]); ok {
+		t.Fatal("truncated linked entry decoded")
+	}
+}
+
+// TestStoreParentLinkPersists: SaveLinked writes an entry whose parent
+// address a fresh handle reads back; Load treats it as an ordinary entry.
+func TestStoreParentLinkPersists(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	want := []float64{1, 2}
+	if err := s.SaveLinked("child", want, "parent"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.ParentLinks != 1 {
+		t.Fatalf("linked write not counted: %+v", st)
+	}
+	f := mustOpen(t, dir)
+	raw, vals, ok := f.LoadAddrBuf(Addr("child"), nil, nil)
+	if !ok || !reflect.DeepEqual(vals, want) {
+		t.Fatalf("linked entry load: %v %v", vals, ok)
+	}
+	if _, parent, ok := DecodeEntry(raw); !ok || parent != Addr("parent") {
+		t.Fatalf("parent link lost across handles: %q %v", parent, ok)
+	}
+	// A malformed parent address fails loudly at save time.
+	if err := s.SaveAddrLinked(Addr("child"), want, "xyz"); err == nil {
+		t.Fatal("malformed parent address accepted")
 	}
 }

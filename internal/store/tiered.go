@@ -17,6 +17,15 @@ type Backend interface {
 	Save(key string, vals []float64) error
 }
 
+// LinkedSaver is the optional Backend extension for parent-linked
+// publication: a backend that can record which entry's result
+// warm-started this one (codec v2 parent link) implements it. Callers
+// fall back to plain Save — losing the link, never the values — when the
+// backend does not.
+type LinkedSaver interface {
+	SaveLinked(key string, vals []float64, parentKey string) error
+}
+
 // TieredOptions configures a Tiered backend's claim-based singleflight.
 type TieredOptions struct {
 	// LeaseTTL enables cross-replica claims: before solving a missed key,
@@ -141,8 +150,10 @@ func (t *Tiered) Load(key string) ([]float64, bool) {
 	for cycle := 0; cycle < t.opt.WaitCycles; cycle++ {
 		if cycle > 0 {
 			// A previous holder may have published between our last poll and
-			// now; re-check before contending for the lease.
-			if vals, ok := t.disk.LoadAddr(addr); ok {
+			// now; re-check before contending for the lease. The fresh load
+			// bypasses the negative cache: the whole point of polling is to
+			// see another process's publish immediately.
+			if vals, ok := t.disk.loadAddrFresh(addr); ok {
 				t.count(func(s *TieredStats) { s.WaitHits++ })
 				return vals, true
 			}
@@ -156,7 +167,7 @@ func (t *Tiered) Load(key string) ([]float64, bool) {
 		released := false
 		for time.Now().Before(deadline) {
 			time.Sleep(t.opt.Poll)
-			if vals, ok := t.disk.LoadAddr(addr); ok {
+			if vals, ok := t.disk.loadAddrFresh(addr); ok {
 				t.count(func(s *TieredStats) { s.WaitHits++ })
 				return vals, true
 			}
@@ -182,10 +193,30 @@ func (t *Tiered) Load(key string) ([]float64, bool) {
 // are counted, never raised — mirroring the cache's durability-is-best-
 // effort rule.
 func (t *Tiered) Save(key string, vals []float64) error {
+	return t.SaveLinked(key, vals, "")
+}
+
+// SaveLinked is Save with a parent content-address link threaded through
+// every tier that supports one: always the local disk entry, and the
+// remote tier too when it implements LinkedSaver (the remotestore client
+// does — the link travels inside the TBRS body). A remote tier without
+// linked saves still gets the values; the link is an optimization hint,
+// never load-bearing.
+func (t *Tiered) SaveLinked(key string, vals []float64, parentKey string) error {
 	addr := Addr(key)
-	err := t.disk.SaveAddr(addr, vals)
+	parent := ""
+	if parentKey != "" {
+		parent = Addr(parentKey)
+	}
+	err := t.disk.SaveAddrLinked(addr, vals, parent)
 	if t.remote != nil {
-		if rerr := t.remote.Save(key, vals); rerr != nil {
+		var rerr error
+		if ls, ok := t.remote.(LinkedSaver); ok && parentKey != "" {
+			rerr = ls.SaveLinked(key, vals, parentKey)
+		} else {
+			rerr = t.remote.Save(key, vals)
+		}
+		if rerr != nil {
 			t.count(func(s *TieredStats) { s.RemoteSaveErrs++ })
 		}
 	}
@@ -194,6 +225,11 @@ func (t *Tiered) Save(key string, vals []float64) error {
 	}
 	return err
 }
+
+// PinKey pins the disk entry under key against Prune eviction (see
+// Store.PinKey); the returned release is idempotent. Remote tiers have no
+// local eviction to pin against.
+func (t *Tiered) PinKey(key string) func() { return t.disk.PinKey(key) }
 
 // Abandon releases this replica's claim on a key whose solve produced no
 // result — it errored, was canceled, or the point was infeasible. Save
