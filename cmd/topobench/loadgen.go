@@ -34,8 +34,10 @@ func runLoadgen(args []string) {
 		zipfS    = fs.Float64("zipf-s", 1.2, "zipf popularity skew (s > 1)")
 		noPrime  = fs.Bool("no-prime", false, "skip priming the warm universe before the measured window")
 		jsonOut  = fs.Bool("json", false, "emit the result as one JSON object instead of text")
+		logFmt   = logFormatFlag(fs)
 	)
 	fs.Parse(args)
+	applyLogFormat(*logFmt)
 	if *miss < 0 || *miss > 1 {
 		fatal(fmt.Errorf("-miss must be in [0,1], got %g", *miss))
 	}
@@ -82,6 +84,15 @@ func runLoadgen(args []string) {
 		fmt.Printf("status %d: %d\n", st, res.Statuses[st])
 	}
 	fmt.Printf("latency (open-loop): p50=%s p95=%s p99=%s\n", res.P50, res.P95, res.P99)
+	for _, sr := range res.Slowest {
+		// The tail's trace ids in the report: paste one into
+		// GET /debug/traces to see where that request's time went.
+		trace := sr.TraceID
+		if trace == "" {
+			trace = "-"
+		}
+		fmt.Printf("slow: %s status=%d trace=%s grid=%q\n", sr.Latency, sr.Status, trace, sr.Grid)
+	}
 }
 
 // loadgenUniverse builds the warm universe: n cheap single-point aspl

@@ -9,7 +9,7 @@
 //	topobench -scenario "topo=rrg:n=400,deg=10 traffic=permutation eval=mcf sweep=deg:4..16"
 //	topobench -scenario "..." -json -cache-dir ~/.cache/topobench
 //	topobench -scenario-list
-//	topobench serve -addr :8080 -cache-dir /var/lib/topobench [-jobs 8] [-store-max-bytes 1e9]
+//	topobench serve -addr :8080 -cache-dir /var/lib/topobench [-jobs 8] [-store-max-bytes 1e9] [-trace-sample 0.01] [-log-format json]
 //	topobench submit -server http://127.0.0.1:8080 -grid "topo=... traffic=... eval=..." [-o out.json]
 //	topobench submit -server http://127.0.0.1:8080 -job <id>
 //	topobench loadgen -server http://127.0.0.1:8080 -rate 300 -duration 5s [-miss 0.1] [-json]
@@ -32,7 +32,14 @@
 // the response-byte cache that answers warm grids without re-marshaling
 // (0 = 64 MiB, negative disables; watch
 // topobench_response_bytes_cache_{hits,misses,evictions}_total and the
-// topobench_request_seconds histogram on /metrics).
+// topobench_request_seconds histogram on /metrics). Request tracing is
+// on by default at a 0.1% sample rate (`serve -trace-sample`, with
+// `-trace-slow` always capturing slow requests): sampled requests carry
+// an X-Trace-Id response header and land in GET /debug/traces with
+// per-phase solver and store-tier spans; loadgen -json records the
+// trace ids of the run's slowest requests so the tail can be looked up
+// directly. Every subcommand takes -log-format text|json for its
+// structured (log/slog) diagnostics on stderr.
 //
 // With -cache-dir, the content-addressed solve cache is tiered onto a
 // persistent result store (internal/store): results computed by ANY
@@ -104,8 +111,10 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "tier the solve cache onto a persistent result store in this directory")
 		jsonOut  = flag.Bool("json", false, "with -scenario: emit the service's canonical JSON response instead of TSV")
 		warm     = flag.Bool("warm-start", false, "with -scenario: seed delta-shaped points (failure ladders, expansion steps) from their parent's stored witness; every warm solve is flowcheck-certified")
+		logFmt   = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
+	applyLogFormat(*logFmt)
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -237,12 +246,14 @@ func runScenario(line string, runs int, seed int64, eps float64, par int, outPat
 		}
 	}
 	cs := scenario.Default.Stats()
-	fmt.Fprintf(os.Stderr, "scenario done in %v (cache: %d hits, %d store hits, %d misses)\n",
-		time.Since(start).Round(time.Millisecond), cs.Hits, cs.StoreHits, cs.Misses)
+	logger.Info("scenario done",
+		"elapsed", time.Since(start).Round(time.Millisecond),
+		"cache_hits", cs.Hits, "store_hits", cs.StoreHits, "misses", cs.Misses)
 	if warm {
 		ws := eng.WarmStats()
-		fmt.Fprintf(os.Stderr, "warm-start: %d attempts, %d certified, %d cert fallbacks, %d parent hits, %d parent misses\n",
-			ws.Attempts, ws.Starts, ws.Fallbacks, ws.ParentHits, ws.ParentMisses)
+		logger.Info("warm-start stats",
+			"attempts", ws.Attempts, "certified", ws.Starts, "cert_fallbacks", ws.Fallbacks,
+			"parent_hits", ws.ParentHits, "parent_misses", ws.ParentMisses)
 	}
 	return nil
 }
@@ -257,7 +268,7 @@ func runOne(id string, opts experiments.Options, outPath string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "figure %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	logger.Info("figure done", "figure", id, "elapsed", time.Since(start).Round(time.Millisecond))
 	w := os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)

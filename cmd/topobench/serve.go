@@ -17,6 +17,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // runServe is the `topobench serve` subcommand: the scenario engine as a
@@ -48,8 +49,13 @@ func runServe(args []string) {
 		respBytes  = fs.Int64("resp-cache-bytes", 0, "response-byte cache budget (0 = 64 MiB default, negative = disabled)")
 		pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ (off by default)")
 		warmStart  = fs.Bool("warm-start", false, "seed delta-shaped points (failure ladders, expansion steps) from their parent's stored witness; every warm solve is flowcheck-certified")
+		sample     = fs.Float64("trace-sample", 0.001, "fraction of requests traced end to end into /debug/traces (0 disables head sampling; slow capture still applies)")
+		traceSlow  = fs.Duration("trace-slow", 250*time.Millisecond, "requests at or over this duration are always captured and logged (0 disables)")
+		traceBuf   = fs.Int("trace-buffer", 0, "completed traces retained in the /debug/traces ring (0 = 256)")
+		logFormat  = logFormatFlag(fs)
 	)
 	fs.Parse(args)
+	applyLogFormat(*logFormat)
 
 	if err := validateServeFlags(*cacheDir, *lease); err != nil {
 		fatal(err)
@@ -79,7 +85,7 @@ func runServe(args []string) {
 				fatal(err)
 			}
 			ropt.Transport = faultinject.NewTransport(nil, fcfg)
-			fmt.Fprintf(os.Stderr, "topobench serve: FAULT INJECTION active on peer traffic (%s)\n", *faultSpec)
+			logger.Warn("FAULT INJECTION active on peer traffic", "spec", *faultSpec)
 		}
 		remote = remotestore.New(ropt)
 	}
@@ -99,6 +105,10 @@ func runServe(args []string) {
 		cache.SetBackend(remote)
 	}
 	eng := &scenario.Engine{Parallel: *workers, Cache: cache, SkipInfeasible: true, WarmStart: *warmStart}
+	var tracer *trace.Tracer
+	if *sample > 0 || *traceSlow > 0 {
+		tracer = trace.New(trace.Options{Sample: *sample, Slow: *traceSlow, Buffer: *traceBuf})
+	}
 	svc := service.New(service.Config{
 		Engine: eng, Cache: cache, Store: st,
 		MaxJobs: *jobs, StoreMaxBytes: *maxBytes,
@@ -108,9 +118,11 @@ func runServe(args []string) {
 		JobRetain:         *jobRetain,
 		MaxQueuedJobs:     *jobQueue,
 		RespCacheMaxBytes: *respBytes,
+		Tracer:            tracer,
+		Logger:            logger,
 	})
 	if n := svc.RecoverJobs(); n > 0 {
-		fmt.Fprintf(os.Stderr, "topobench serve: recovered %d async jobs from %s\n", n, *cacheDir)
+		logger.Info("recovered async jobs", "jobs", n, "dir", *cacheDir)
 	}
 	handler := svc.Handler()
 	if *pprofOn {
@@ -124,7 +136,7 @@ func runServe(args []string) {
 		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		outer.Handle("/", handler)
 		handler = outer
-		fmt.Fprintf(os.Stderr, "topobench serve: pprof enabled at /debug/pprof/\n")
+		logger.Info("pprof enabled at /debug/pprof/")
 	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
@@ -145,10 +157,12 @@ func runServe(args []string) {
 
 	if st != nil {
 		ss := st.Stats()
-		fmt.Fprintf(os.Stderr, "topobench serve: store %s holds %d entries (%d bytes)\n",
-			*cacheDir, ss.Entries, ss.Bytes)
+		logger.Info("store opened", "dir", *cacheDir, "entries", ss.Entries, "bytes", ss.Bytes)
 	}
-	fmt.Fprintf(os.Stderr, "topobench serve: listening on %s\n", *addr)
+	if tracer != nil {
+		logger.Info("tracing enabled", "sample", *sample, "slow", *traceSlow)
+	}
+	logger.Info("listening", "addr", *addr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
@@ -156,13 +170,17 @@ func runServe(args []string) {
 	printCacheStats(cache, st)
 	if tiered != nil {
 		ts := tiered.Stats()
-		fmt.Fprintf(os.Stderr, "tiered: %d disk hits, %d remote hits, %d misses, %d promotions, %d claims won, %d wait hits, %d reclaims\n",
-			ts.DiskHits, ts.RemoteHits, ts.Misses, ts.Promotions, ts.ClaimsWon, ts.WaitHits, ts.Reclaims)
+		logger.Info("tiered stats",
+			"disk_hits", ts.DiskHits, "remote_hits", ts.RemoteHits, "misses", ts.Misses,
+			"promotions", ts.Promotions, "claims_won", ts.ClaimsWon,
+			"wait_hits", ts.WaitHits, "reclaims", ts.Reclaims)
 	}
 	if remote != nil {
 		rs := remote.Stats()
-		fmt.Fprintf(os.Stderr, "remote %s: %d/%d load hits, %d saves (%d errors), %d retries, %d failures, %d breaker opens, breaker %s\n",
-			remote.BaseURL(), rs.LoadHits, rs.Loads, rs.Saves, rs.SaveErrs, rs.Retries, rs.Failures, rs.BreakerOpens, rs.State)
+		logger.Info("remote stats", "peer", remote.BaseURL(),
+			"load_hits", rs.LoadHits, "loads", rs.Loads, "saves", rs.Saves,
+			"save_errors", rs.SaveErrs, "retries", rs.Retries, "failures", rs.Failures,
+			"breaker_opens", rs.BreakerOpens, "breaker", rs.State.String())
 	}
 }
 
@@ -182,15 +200,19 @@ func validateServeFlags(cacheDir string, lease time.Duration) error {
 // batch-mode exit summary and the server's shutdown summary.
 func printCacheStats(c *scenario.Cache, st *store.Store) {
 	cs := c.Stats()
-	fmt.Fprintf(os.Stderr, "cache: %d hits, %d store hits, %d misses, %d entries",
-		cs.Hits, cs.StoreHits, cs.Misses, cs.Entries)
-	if cs.StoreErrs > 0 {
-		fmt.Fprintf(os.Stderr, ", %d STORE ERRORS", cs.StoreErrs)
+	args := []any{
+		"hits", cs.Hits, "store_hits", cs.StoreHits,
+		"misses", cs.Misses, "entries", cs.Entries,
 	}
-	fmt.Fprintln(os.Stderr)
+	if cs.StoreErrs > 0 {
+		args = append(args, "STORE_ERRORS", cs.StoreErrs)
+	}
+	logger.Info("cache stats", args...)
 	if st != nil {
 		ss := st.Stats()
-		fmt.Fprintf(os.Stderr, "store: %d entries, %d bytes (%d hits, %d misses, %d writes, %d corrupt, %d evicted)\n",
-			ss.Entries, ss.Bytes, ss.Hits, ss.Misses, ss.Writes, ss.Corrupt, ss.Evicted)
+		logger.Info("store stats",
+			"entries", ss.Entries, "bytes", ss.Bytes, "hits", ss.Hits,
+			"misses", ss.Misses, "writes", ss.Writes,
+			"corrupt", ss.Corrupt, "evicted", ss.Evicted)
 	}
 }

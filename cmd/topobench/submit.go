@@ -31,8 +31,10 @@ func runSubmit(args []string) {
 		interval = fs.Duration("interval", 500*time.Millisecond, "poll interval")
 		timeout  = fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
 		out      = fs.String("o", "", "output file for the result JSON (default stdout)")
+		logFmt   = logFormatFlag(fs)
 	)
 	fs.Parse(args)
+	applyLogFormat(*logFmt)
 	base := strings.TrimRight(*server, "/")
 
 	id := *jobID
@@ -45,7 +47,7 @@ func runSubmit(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "topobench submit: job %s\n", id)
+		logger.Info("job submitted", "job", id)
 	}
 
 	// Cancel the job server-side on interrupt: a detached solve nobody
@@ -60,7 +62,7 @@ func runSubmit(args []string) {
 				resp.Body.Close()
 			}
 		}
-		fmt.Fprintf(os.Stderr, "topobench submit: canceled job %s\n", id)
+		logger.Info("canceled job", "job", id)
 		os.Exit(1)
 	}()
 
@@ -123,8 +125,7 @@ func submitJob(base, grid string) (string, error) {
 	var lastErr error
 	for attempt := 1; attempt <= submitAttempts; attempt++ {
 		if attempt > 1 {
-			fmt.Fprintf(os.Stderr, "topobench submit: %v (retrying, attempt %d/%d)\n",
-				lastErr, attempt, submitAttempts)
+			logger.Warn("submit retrying", "err", lastErr, "attempt", attempt, "attempts", submitAttempts)
 			time.Sleep(submitBackoff(attempt, rng))
 		}
 		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(reqBody))
@@ -166,7 +167,7 @@ func pollJob(base, id string, interval, timeout time.Duration) ([]byte, error) {
 		if err != nil {
 			// A restarting server answers again soon; polling rides it out
 			// (the job record survives the restart).
-			fmt.Fprintf(os.Stderr, "topobench submit: poll: %v (retrying)\n", err)
+			logger.Warn("poll failed, retrying", "err", err)
 		} else {
 			body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 			resp.Body.Close()
@@ -182,7 +183,7 @@ func pollJob(base, id string, interval, timeout time.Duration) ([]byte, error) {
 			if resp.StatusCode == http.StatusOK && json.Unmarshal(body, &st) == nil {
 				if st.Done != lastDone {
 					lastDone = st.Done
-					fmt.Fprintf(os.Stderr, "topobench submit: %s %d/%d points\n", st.State, st.Done, st.Total)
+					logger.Info("job progress", "state", st.State, "done", st.Done, "total", st.Total)
 				}
 				switch st.State {
 				case "done":

@@ -80,6 +80,43 @@ type Result struct {
 	P50 time.Duration `json:"p50_ns"`
 	P95 time.Duration `json:"p95_ns"`
 	P99 time.Duration `json:"p99_ns"`
+	// Slowest are the worst requests of the run — those at or above the
+	// P99 latency — worst first, each carrying the trace id the server
+	// echoed in X-Trace-Id (empty when the request was neither sampled
+	// nor slow-captured server-side). This closes the loop between the
+	// harness and GET /debug/traces: the tail's trace ids are right in
+	// the report.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
+}
+
+// SlowRequest identifies one of the run's slowest requests.
+type SlowRequest struct {
+	Grid    string        `json:"grid"`
+	Status  int           `json:"status"`
+	Latency time.Duration `json:"latency_ns"`
+	TraceID string        `json:"trace_id,omitempty"`
+}
+
+// slowTrack bounds how many candidate slow requests each worker retains;
+// the merged candidates are filtered to >= P99 after the run.
+const slowTrack = 8
+
+// noteSlow keeps the top-slowTrack requests by latency: append while
+// under the bound, then displace the current minimum.
+func noteSlow(slow []SlowRequest, r SlowRequest) []SlowRequest {
+	if len(slow) < slowTrack {
+		return append(slow, r)
+	}
+	min := 0
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Latency < slow[min].Latency {
+			min = i
+		}
+	}
+	if r.Latency > slow[min].Latency {
+		slow[min] = r
+	}
+	return slow
 }
 
 type arrival struct {
@@ -145,7 +182,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 
 	if cfg.Prime {
 		for _, grid := range cfg.Universe {
-			status, err := post(ctx, client, cfg.BaseURL, grid)
+			status, _, err := post(ctx, client, cfg.BaseURL, grid)
 			if err != nil {
 				return Result{}, fmt.Errorf("loadgen: priming %q: %w", grid, err)
 			}
@@ -165,6 +202,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		lat      []time.Duration
 		statuses map[int]int
 		errs     int
+		slow     []SlowRequest
 	}
 	shards := make([]shard, conns)
 	var wg sync.WaitGroup
@@ -186,13 +224,16 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 				if ctx.Err() != nil {
 					return
 				}
-				status, err := post(ctx, client, cfg.BaseURL, a.grid)
+				status, traceID, err := post(ctx, client, cfg.BaseURL, a.grid)
 				if err != nil {
 					sh.errs++
 					continue
 				}
 				sh.statuses[status]++
-				sh.lat = append(sh.lat, time.Since(due))
+				lat := time.Since(due)
+				sh.lat = append(sh.lat, lat)
+				sh.slow = noteSlow(sh.slow, SlowRequest{
+					Grid: a.grid, Status: status, Latency: lat, TraceID: traceID})
 			}
 		}(&shards[w])
 	}
@@ -201,6 +242,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 
 	res := Result{Statuses: map[int]int{}, Elapsed: elapsed}
 	var lat []time.Duration
+	var slow []SlowRequest
 	for _, sh := range shards {
 		res.Errors += sh.errs
 		for st, c := range sh.statuses {
@@ -208,6 +250,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 			res.Requests += c
 		}
 		lat = append(lat, sh.lat...)
+		slow = append(slow, sh.slow...)
 	}
 	res.Requests += res.Errors
 	if elapsed > 0 {
@@ -217,30 +260,41 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.P50 = percentile(lat, 0.50)
 	res.P95 = percentile(lat, 0.95)
 	res.P99 = percentile(lat, 0.99)
+	// The tail report: every retained candidate at or above P99, worst
+	// first, capped so a long run stays a short report.
+	sort.Slice(slow, func(i, j int) bool { return slow[i].Latency > slow[j].Latency })
+	for _, r := range slow {
+		if r.Latency < res.P99 || len(res.Slowest) >= slowTrack {
+			break
+		}
+		res.Slowest = append(res.Slowest, r)
+	}
 	return res, ctx.Err()
 }
 
-// post sends one eval request and drains the response; the body content is
-// irrelevant to the generator, only status and completion time matter.
-func post(ctx context.Context, client *http.Client, baseURL, grid string) (int, error) {
+// post sends one eval request and drains the response; the body content
+// is irrelevant to the generator — only the status, the completion time,
+// and the X-Trace-Id the server echoed for sampled or slow-captured
+// requests matter.
+func post(ctx context.Context, client *http.Client, baseURL, grid string) (int, string, error) {
 	body, err := json.Marshal(struct {
 		Grid string `json:"grid"`
 	}{grid})
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/eval", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header.Get("X-Trace-Id"), nil
 }
 
 // percentile returns the p-th percentile (nearest-rank) of sorted

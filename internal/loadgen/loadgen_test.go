@@ -161,6 +161,113 @@ func TestStatusesAndRPS(t *testing.T) {
 	}
 }
 
+// TestSlowestCarriesTraceIDs runs against a server that echoes a
+// distinct X-Trace-Id per request and checks the tail report: entries
+// are worst-first, all at or above P99, bounded, and each carries the
+// trace id the server handed back for that exact request.
+func TestSlowestCarriesTraceIDs(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		n      int
+		traces = map[string]string{} // trace id -> grid
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Grid string `json:"grid"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		n++
+		id := fmt.Sprintf("%032x", n)
+		traces[id] = req.Grid
+		mu.Unlock()
+		w.Header().Set("X-Trace-Id", id)
+		w.Write([]byte("{}\n"))
+	}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Universe: universe(4),
+		Rate:     1000,
+		Duration: 100 * time.Millisecond,
+		Conns:    4,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slowest) == 0 {
+		t.Fatal("no slowest entries despite per-request latencies")
+	}
+	if len(res.Slowest) > slowTrack {
+		t.Fatalf("slowest list unbounded: %d entries", len(res.Slowest))
+	}
+	for i, sr := range res.Slowest {
+		if i > 0 && sr.Latency > res.Slowest[i-1].Latency {
+			t.Errorf("slowest not worst-first at %d: %s > %s", i, sr.Latency, res.Slowest[i-1].Latency)
+		}
+		if sr.Latency < res.P99 {
+			t.Errorf("entry %d below P99: %s < %s", i, sr.Latency, res.P99)
+		}
+		if sr.TraceID == "" {
+			t.Errorf("entry %d: no trace id recorded", i)
+			continue
+		}
+		mu.Lock()
+		grid, ok := traces[sr.TraceID]
+		mu.Unlock()
+		if !ok {
+			t.Errorf("entry %d: trace id %s never issued by the server", i, sr.TraceID)
+		} else if grid != sr.Grid {
+			t.Errorf("entry %d: trace %s was for grid %q, report says %q", i, sr.TraceID, grid, sr.Grid)
+		}
+	}
+}
+
+// TestNoteSlow pins the bounded top-K behavior: append under the bound,
+// displace the minimum above it, ignore anything not beating it.
+func TestNoteSlow(t *testing.T) {
+	var slow []SlowRequest
+	for i := 1; i <= slowTrack; i++ {
+		slow = noteSlow(slow, SlowRequest{Latency: time.Duration(i)})
+	}
+	if len(slow) != slowTrack {
+		t.Fatalf("len %d want %d", len(slow), slowTrack)
+	}
+	// Not beating the min: unchanged.
+	slow = noteSlow(slow, SlowRequest{Latency: 1})
+	minLat := slow[0].Latency
+	for _, r := range slow {
+		if r.Latency < minLat {
+			minLat = r.Latency
+		}
+	}
+	if minLat != 1 {
+		t.Fatalf("min displaced by an equal entry: %d", minLat)
+	}
+	// Beating the min: 1 leaves, 100 enters, bound holds.
+	slow = noteSlow(slow, SlowRequest{Latency: 100})
+	if len(slow) != slowTrack {
+		t.Fatalf("bound broken: %d", len(slow))
+	}
+	has100, has1 := false, false
+	for _, r := range slow {
+		if r.Latency == 100 {
+			has100 = true
+		}
+		if r.Latency == 1 {
+			has1 = true
+		}
+	}
+	if !has100 || has1 {
+		t.Fatalf("displacement wrong: has100=%v has1=%v (%v)", has100, has1, slow)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	if got := percentile(lat, 0.50); got != 5 {

@@ -85,6 +85,9 @@ func TestSolverDeterministicAcrossWorkers(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s margin=%v workers=%d: %v", name, margin, w, err)
 				}
+				// Timing is wall clock — the one Result field that is
+				// non-deterministic by contract. Everything else must match.
+				res.Timing = mcf.SolveTiming{}
 				if ref == nil {
 					ref = res
 					if res.TreePrebuilds == 0 {
@@ -137,6 +140,7 @@ func TestSolverDeterministicBucketAblation(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			res.Timing = mcf.SolveTiming{} // wall clock: non-deterministic by contract
 			if ref == nil {
 				ref = res
 			} else if !reflect.DeepEqual(res, ref) {

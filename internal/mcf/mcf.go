@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/runner"
@@ -173,6 +174,29 @@ type Result struct {
 	// commodity j gives j's delivered volume (≥ Throughput·demand_j);
 	// summing over paths crossing an arc reconstructs ArcFlow.
 	Paths []PathFlow
+	// Timing is the solve's wall-clock phase telemetry for observability
+	// (prebuild vs. routing time). Unlike every other Result field it is
+	// inherently NON-deterministic; determinism tests must zero it before
+	// comparing Results with reflect.DeepEqual.
+	Timing SolveTiming
+}
+
+// SolveTiming is the wall-clock breakdown of one solve: where the time
+// went between the concurrent phase-start tree prebuild pass and the
+// serial routing loop. It feeds the tracing layer's solver-phase spans
+// (internal/trace via the scenario evaluators); nothing in the solver
+// reads it back.
+type SolveTiming struct {
+	// PrebuildNanos is the time spent in prebuildTrees across all
+	// phases — the parallelizable share of the tree work.
+	PrebuildNanos int64
+	// RouteNanos is the time spent in the serial per-phase routing
+	// loops (including any in-loop tree rebuilds the prebuild margin
+	// did not cover).
+	RouteNanos int64
+	// SolveNanos is the whole solve's wall clock, from state
+	// construction through result extraction.
+	SolveNanos int64
 }
 
 // PathFlow is one path of the flow decomposition: Flow units of commodity
@@ -329,6 +353,12 @@ type state struct {
 	// return to early-exiting Dijkstras.
 	builds, repairs, repairTries int
 
+	// Wall-clock phase telemetry for Result.Timing: startedAt stamps
+	// state construction; prebuildNanos/routeNanos split each phase
+	// between the concurrent prebuild pass and the serial routing loop.
+	startedAt                 time.Time
+	prebuildNanos, routeNanos int64
+
 	// Phase-start concurrent prebuild (see prebuildTrees): pool bounds the
 	// workers, staleSrcs is the reusable list of sources whose trees the
 	// phase refreshes up front, prebuilds counts those refreshes, and
@@ -409,6 +439,7 @@ func newState(g *graph.Graph, flows []traffic.Flow, eps float64, opt Options) *s
 		margin:      opt.PrebuildMargin,
 		recordPaths: opt.RecordPaths,
 		bestBound:   math.Inf(1),
+		startedAt:   time.Now(),
 	}
 	delta := (1 + eps) * math.Pow((1+eps)*float64(m), -1/eps)
 	for a := 0; a < m; a++ {
@@ -814,7 +845,11 @@ func (s *state) prebuildTrees() {
 // per-phase Dijkstra entirely.
 func (s *state) runPhase() {
 	s.choosePhaseTraversal()
+	phaseStart := time.Now()
 	s.prebuildTrees()
+	routeStart := time.Now()
+	s.prebuildNanos += routeStart.Sub(phaseStart).Nanoseconds()
+	defer func() { s.routeNanos += time.Since(routeStart).Nanoseconds() }()
 	onePlusEps := 1 + s.eps
 	s.alpha = 0
 	for _, src := range s.srcs {
@@ -995,6 +1030,11 @@ func (s *state) result() *Result {
 		Epsilon:       s.eps,
 		DualLens:      append([]float64(nil), witness...),
 		WarmStarted:   s.warm,
+		Timing: SolveTiming{
+			PrebuildNanos: s.prebuildNanos,
+			RouteNanos:    s.routeNanos,
+			SolveNanos:    time.Since(s.startedAt).Nanoseconds(),
+		},
 	}
 	// Maximum congestion certifies feasibility after scaling.
 	var chi float64

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // ContentType is the raw-entry media type of the result routes: request
@@ -360,9 +361,21 @@ func retryableStatus(code int) bool {
 // retries — degrades to (nil, false): the caller solves locally, which
 // under the cache-key invariant yields identical bytes.
 func (c *Client) Load(key string) ([]float64, bool) {
+	return c.LoadCtx(context.Background(), key)
+}
+
+// LoadCtx is Load carrying the caller's context (store.CtxBackend).
+// When the context holds a sampled trace span, every attempt forwards it
+// as a W3C `traceparent` header, so the peer replica samples the request
+// and its spans land under the caller's trace id — the cross-process
+// half of end-to-end tracing. The attempt timeout still derives from the
+// client's own Options.Timeout, not from ctx: a caller's deadline must
+// not change the retry/breaker behavior the chaos tests pin down.
+func (c *Client) LoadCtx(ctx context.Context, key string) ([]float64, bool) {
 	c.mu.Lock()
 	c.st.Loads++
 	c.mu.Unlock()
+	caller := trace.SpanFromContext(ctx)
 	addr := store.Addr(key)
 	var vals []float64
 	var found bool
@@ -372,6 +385,9 @@ func (c *Client) Load(key string) ([]float64, bool) {
 			return &attemptErr{err: err}
 		}
 		req.Header.Set("Accept", ContentType)
+		if caller.OK() {
+			req.Header.Set("traceparent", trace.FormatTraceparent(caller.TraceID(), caller.ID(), true))
+		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return &attemptErr{err: err, retryable: true}

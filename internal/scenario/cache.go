@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"context"
 	"crypto/sha256"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // Backend is an optional second, durable tier beneath the in-memory
@@ -79,6 +82,23 @@ func (c *Cache) SetBackend(b Backend) {
 // Get returns the run values stored under key, if any — from memory, or
 // failing that from the backend (promoting the entry into memory).
 func (c *Cache) Get(key string) ([]float64, bool) {
+	return c.GetCtx(context.Background(), key)
+}
+
+// CtxBackend is the optional backend extension for context-aware loads:
+// backends that can propagate cancellation or trace context downstream
+// (the store's Tiered, the remote store client) implement LoadCtx;
+// GetCtx uses it when present and falls back to the plain Load. The
+// contract is Load's — ok=false on any miss, never wrong data.
+type CtxBackend interface {
+	LoadCtx(ctx context.Context, key string) ([]float64, bool)
+}
+
+// GetCtx is Get carrying the caller's context. When the context holds a
+// sampled trace span, the lookup records tier spans (memory, then the
+// backend) with hit/miss outcomes; when it does not, the span calls are
+// inert and GetCtx costs the same as Get.
+func (c *Cache) GetCtx(ctx context.Context, key string) ([]float64, bool) {
 	h := sha256.Sum256([]byte(key))
 	c.mu.Lock()
 	vals, ok := c.entries[h]
@@ -88,6 +108,10 @@ func (c *Cache) Get(key string) ([]float64, bool) {
 		out := make([]float64, len(vals))
 		copy(out, vals)
 		c.mu.Unlock()
+		if sp := trace.StartSpan(ctx, "tier.memory"); sp.OK() {
+			sp.Attr("outcome", "hit")
+			sp.End()
+		}
 		return out, true
 	}
 	c.mu.Unlock()
@@ -95,7 +119,11 @@ func (c *Cache) Get(key string) ([]float64, bool) {
 	if backend != nil {
 		// The backend read happens outside the cache lock: disk latency must
 		// not serialize unrelated lookups.
-		if vals, ok := backend.Load(key); ok {
+		sp := trace.StartSpan(ctx, "tier.store")
+		vals, ok := c.loadBackend(ctx, backend, key)
+		if ok {
+			sp.Attr("outcome", "hit")
+			sp.End()
 			cp := make([]float64, len(vals))
 			copy(cp, vals)
 			c.mu.Lock()
@@ -106,11 +134,22 @@ func (c *Cache) Get(key string) ([]float64, bool) {
 			copy(out, vals)
 			return out, true
 		}
+		sp.Attr("outcome", "miss")
+		sp.End()
 	}
 	c.mu.Lock()
 	c.misses++
 	c.mu.Unlock()
 	return nil, false
+}
+
+// loadBackend dispatches one backend read, via LoadCtx when the backend
+// is context-aware.
+func (c *Cache) loadBackend(ctx context.Context, backend Backend, key string) ([]float64, bool) {
+	if cb, ok := backend.(CtxBackend); ok {
+		return cb.LoadCtx(ctx, key)
+	}
+	return backend.Load(key)
 }
 
 // BackendAbandoner is the optional backend extension for abandoned

@@ -13,6 +13,7 @@ import (
 	"repro/internal/hetero"
 	"repro/internal/rrg"
 	"repro/internal/runner"
+	"repro/internal/trace"
 )
 
 // DefaultSeedFactor is the historical per-run seed derivation of
@@ -231,8 +232,13 @@ func (e *Engine) runPoint(ctx context.Context, p Point) ([]float64, error) {
 	if p.Topo.Spec() != "" {
 		key = p.Key()
 	}
+	if sp := trace.StartSpan(ctx, "point"); sp.OK() {
+		sp.Attr("key", key)
+		ctx = trace.ContextWithSpan(ctx, sp)
+		defer sp.End()
+	}
 	if e.Cache != nil && key != "" {
-		if vals, ok := e.Cache.Get(key); ok {
+		if vals, ok := e.Cache.GetCtx(ctx, key); ok {
 			return vals, nil
 		}
 	}
@@ -297,11 +303,14 @@ func (e *Engine) prepareWarm(ctx context.Context, p Point, key string) *pointWar
 		return nil
 	}
 	parentKey := pp.Key()
+	sp := trace.StartSpan(ctx, "warm.prepare")
+	sp.Attr("parent", parentKey)
+	defer sp.End()
 	load := func() ([][]float64, bool) {
 		lens := make([][]float64, p.runs())
 		all := true
 		for i := range lens {
-			if w, ok := e.Cache.Get(WitnessKey(parentKey, i)); ok {
+			if w, ok := e.Cache.GetCtx(ctx, WitnessKey(parentKey, i)); ok {
 				lens[i] = w
 			} else {
 				all = false
@@ -311,6 +320,7 @@ func (e *Engine) prepareWarm(ctx context.Context, p Point, key string) *pointWar
 	}
 	lens, all := load()
 	if all {
+		sp.Attr("witnesses", "hit")
 		e.parentHits.Add(1)
 	} else {
 		// Some or all witnesses are missing in every tier: solve the parent
@@ -320,6 +330,7 @@ func (e *Engine) prepareWarm(ctx context.Context, p Point, key string) *pointWar
 		// down to their base. A parent that was cached as a result by a
 		// non-warm process has no witnesses to offer; its children solve
 		// cold — a documented degradation, never an error.
+		sp.Attr("witnesses", "miss")
 		e.parentMisses.Add(1)
 		e.materializeParent(ctx, pp, parentKey)
 		lens, _ = load()
@@ -358,9 +369,12 @@ func (e *Engine) prepareWarm(ctx context.Context, p Point, key string) *pointWar
 // solves and the error resurfaces if the parent point is ever evaluated
 // in its own right.
 func (e *Engine) materializeParent(ctx context.Context, pp Point, parentKey string) {
+	msp := trace.StartSpan(ctx, "warm.materialize")
+	defer msp.End()
 	e.warmMu.Lock()
 	if wg, ok := e.warmInflight[parentKey]; ok {
 		e.warmMu.Unlock()
+		msp.Attr("outcome", "joined")
 		wg.Wait()
 		return
 	}
@@ -371,6 +385,7 @@ func (e *Engine) materializeParent(ctx context.Context, pp Point, parentKey stri
 	wg.Add(1)
 	e.warmInflight[parentKey] = wg
 	e.warmMu.Unlock()
+	msp.Attr("outcome", "solved")
 	defer func() {
 		e.warmMu.Lock()
 		delete(e.warmInflight, parentKey)
@@ -409,12 +424,17 @@ func (e *Engine) MeasureDetailed(pts []Point) ([][]Detail, error) {
 // point's warm-start plan: run i is seeded from pw.lens[i] and the run's
 // own witness is stored for the point's future children.
 func (e *Engine) oneRun(cctx context.Context, p Point, i int, keep bool, pw *pointWarm) (float64, Detail, error) {
+	if sp := trace.StartSpan(cctx, "run"); sp.OK() {
+		sp.AttrInt("idx", int64(i))
+		cctx = trace.ContextWithSpan(cctx, sp)
+		defer sp.End()
+	}
 	rng := rand.New(rand.NewSource(p.Seed*p.seedFactor() + int64(i)))
 	g, err := p.Topo.Build(rng)
 	if err != nil {
 		return 0, Detail{}, fmt.Errorf("build run %d: %w", i, err)
 	}
-	ctx := &EvalContext{G: g, Rng: rng, Epsilon: p.Epsilon, Cancel: cctx.Done()}
+	ctx := &EvalContext{G: g, Rng: rng, Epsilon: p.Epsilon, Cancel: cctx.Done(), Ctx: cctx}
 	var w *WarmExchange
 	if e.WarmStart {
 		w = &WarmExchange{}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mcf"
 	"repro/internal/packet"
 	"repro/internal/spectral"
+	"repro/internal/trace"
 )
 
 // Built-in evaluator registry entries: the paper's throughput metric
@@ -64,7 +65,9 @@ func (MCF) EvaluateDetailed(ctx *EvalContext) (Detail, error) {
 		// graph. A failed mapping yields nil and the solve runs cold.
 		opt.WarmLens = MapArcLens(w.ParentG, ctx.G, w.ParentLens)
 	}
+	sp := trace.StartSpan(ctx.Ctx, "mcf.solve")
 	res, err := mcf.Solve(ctx.G, ctx.TM.Flows, opt)
+	solveSpan(sp, res, opt.WarmLens != nil)
 	if errors.Is(err, mcf.ErrUnreachable) {
 		// A disconnected instance (e.g. zero cross-cluster links) has zero
 		// concurrent throughput; report it rather than failing the sweep.
@@ -83,15 +86,22 @@ func (MCF) EvaluateDetailed(ctx *EvalContext) (Detail, error) {
 		// the exported witness, the ε-optimality gap. A solve that fails
 		// certification is re-run cold — warm starts may cost a wasted
 		// solve, never wrong data.
+		csp := trace.StartSpan(ctx.Ctx, "warm.certify")
 		rep, verr := flowcheck.Verify(ctx.G, ctx.TM.Flows, res, flowcheck.Options{})
 		if verr != nil || !rep.OK() {
+			csp.Attr("outcome", "fallback")
+			csp.End()
 			w.CertFallback = true
 			opt.WarmLens = nil
+			fsp := trace.StartSpan(ctx.Ctx, "mcf.solve")
 			res, err = mcf.Solve(ctx.G, ctx.TM.Flows, opt)
+			solveSpan(fsp, res, false)
 			if err != nil {
 				return Detail{}, err
 			}
 		} else {
+			csp.Attr("outcome", "certified")
+			csp.End()
 			w.WarmStarted = true
 		}
 	}
@@ -101,6 +111,34 @@ func (MCF) EvaluateDetailed(ctx *EvalContext) (Detail, error) {
 		w.Witness = res.DualLens
 	}
 	return Detail{Value: res.Throughput, G: ctx.G, Res: res}, nil
+}
+
+// solveSpan closes a solver span with the solve's phase telemetry: the
+// prebuild/route wall-clock split from Result.Timing, the tree
+// build/repair and bucket-vs-heap counters, and how the solve was
+// seeded. Inert (free) when the span is not live.
+func solveSpan(sp trace.Span, res *mcf.Result, seeded bool) {
+	if !sp.OK() {
+		return
+	}
+	if res != nil {
+		sp.AttrInt("phases", int64(res.Phases))
+		sp.AttrInt("prebuild_ns", res.Timing.PrebuildNanos)
+		sp.AttrInt("route_ns", res.Timing.RouteNanos)
+		sp.AttrInt("solve_ns", res.Timing.SolveNanos)
+		sp.AttrInt("tree_builds", int64(res.TreeBuilds))
+		sp.AttrInt("tree_repairs", int64(res.TreeRepairs))
+		sp.AttrInt("tree_prebuilds", int64(res.TreePrebuilds))
+		sp.AttrInt("bucket_builds", int64(res.BucketBuilds))
+		if res.WarmStarted {
+			sp.Attr("seed", "warm")
+		} else if seeded {
+			sp.Attr("seed", "warm-rejected")
+		} else {
+			sp.Attr("seed", "cold")
+		}
+	}
+	sp.End()
 }
 
 // ASPL measures the average shortest path length of the topology (no

@@ -57,6 +57,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -111,6 +112,11 @@ type EvalContext struct {
 	// copy EvalContext by value, so the pointer travels into nested
 	// contexts and the innermost solve reports back through it.
 	Warm *WarmExchange
+	// Ctx is the run's request context, carried for observability only:
+	// evaluators use it to record trace spans (internal/trace) around
+	// their solves. It may be nil; cancellation still travels via Cancel,
+	// never via Ctx, so evaluator behavior cannot depend on it.
+	Ctx context.Context
 }
 
 // ---- registries ----

@@ -304,10 +304,13 @@ func TestMetricsDataplane(t *testing.T) {
 	}
 	_, body := get(t, hs.URL+"/metrics")
 	for _, want := range []string{
-		"topobench_request_seconds_bucket{le=\"+Inf\"}",
-		"topobench_request_seconds_sum",
-		"topobench_request_seconds_count",
+		"topobench_request_seconds_bucket{route=\"eval\",le=\"+Inf\"}",
+		"topobench_request_seconds_bucket{route=\"other\",le=\"+Inf\"}",
+		"topobench_request_seconds_sum{route=\"eval\"}",
+		"topobench_request_seconds_count{route=\"eval\"}",
 		"topobench_response_bytes_cache_evictions_total",
+		"# TYPE topobench_request_seconds histogram",
+		"# TYPE topobench_eval_requests_total counter",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("metrics missing %q", want)

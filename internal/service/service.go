@@ -31,7 +31,34 @@
 //	GET  /metrics          Prometheus text: cache/store hit/miss/bytes,
 //	                       request/rejection/dedup counters, response-
 //	                       byte-cache counters, and a request-latency
-//	                       histogram (topobench_request_seconds).
+//	                       histogram (topobench_request_seconds, split
+//	                       by route class: eval, result, jobs, other).
+//	GET  /debug/traces     recently completed traces from the tracer's
+//	                       ring, newest first (?min=250ms filters by
+//	                       duration). 404 when serving without a Tracer.
+//
+// # Observability
+//
+// With Config.Tracer set, requests are traced end to end (internal/
+// trace): a request is sampled by the tracer's 1-in-N counter gate, or
+// unconditionally when it carries a sampled W3C `traceparent` header —
+// which is how a peer replica's result fetch joins the originating
+// request's trace across processes. A sampled request gets a root span
+// named after its method and path, its trace id echoed in the
+// `X-Trace-Id` response header, and child spans for flight
+// attach/lead, solve-cache tiers (memory/disk/peer), claim-lease
+// waits, warm-start preparation/certification, and per-solve phase
+// breakdowns (mcf.solve). Completed traces land in the tracer's
+// fixed-size ring, served by GET /debug/traces.
+//
+// Sampling is decided once, at the root: an unsampled request runs the
+// exact same instrumented code with inert zero spans and allocates
+// nothing extra, so the warm dataplane's alloc budget holds at any
+// sampling rate (TestWarmEvalAllocsTraced pins this). Requests at or
+// over the tracer's slow threshold are always captured — post hoc,
+// with a freshly minted trace id, when head sampling skipped them —
+// and logged through Config.Logger with their route, grid, duration,
+// response source, and trace id.
 //
 // Identical grids requested concurrently are deduplicated in flight
 // (singleflight): one evaluation runs, every waiter gets its bytes.
@@ -67,6 +94,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -78,6 +106,7 @@ import (
 	"repro/internal/remotestore"
 	"repro/internal/scenario"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Config wires a Server. Engine and Cache normally share the same tiered
@@ -124,6 +153,13 @@ type Config struct {
 	// zero re-marshal on hit and evicted LRU beyond the budget. 0 means
 	// 64 MiB; negative disables the cache.
 	RespCacheMaxBytes int64
+	// Tracer, when non-nil, enables request tracing (see the package
+	// Observability section). nil keeps every trace entry point inert, so
+	// the dataplane is untouched.
+	Tracer *trace.Tracer
+	// Logger receives the service's structured log lines (currently the
+	// slow-request line). nil discards.
+	Logger *slog.Logger
 }
 
 // Server handles the evaluation API. Create with New.
@@ -133,9 +169,12 @@ type Server struct {
 	// resp caches canonical response bytes by versioned content address —
 	// the warm dataplane (see bytecache.go).
 	resp *respCache
-	// hist is the request-latency histogram behind
-	// topobench_request_seconds on /metrics.
-	hist reqHist
+	// hists are the per-route-class request-latency histograms behind
+	// topobench_request_seconds on /metrics, indexed by route class.
+	hists [numRoutes]reqHist
+	// log is cfg.Logger, resolved to a discard logger when nil so call
+	// sites never branch.
+	log *slog.Logger
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -164,6 +203,8 @@ type Server struct {
 	canceled atomic.Int64
 	puts     atomic.Int64
 	putBad   atomic.Int64
+	sampled  atomic.Int64
+	slowReqs atomic.Int64
 	// lastSlot is the unix-nano time a job slot last changed hands — the
 	// liveness signal behind /healthz wedge detection.
 	lastSlot atomic.Int64
@@ -235,6 +276,10 @@ func New(cfg Config) *Server {
 		jobs:    make(chan struct{}, cfg.MaxJobs),
 		flights: map[string]*flight{},
 		jobTab:  map[string]*job{},
+		log:     cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
 	}
 	s.lastSlot.Store(time.Now().UnixNano())
 	return s
@@ -255,16 +300,79 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s.timing(s.recoverer(mux))
 }
 
-// timing feeds every request's wall clock into the latency histogram. It
-// wraps the recoverer, so panicking (recovered) requests are observed too.
+// timing is the outermost middleware: it classifies the request's route,
+// feeds its wall clock into that route's latency histogram, and owns the
+// trace lifecycle — deciding sampling once at the root (the counter gate,
+// or unconditionally on an incoming sampled traceparent so a peer's
+// request joins its caller's trace), echoing X-Trace-Id, committing the
+// finished trace to the ring, and capturing slow-but-unsampled requests
+// post hoc so the always-sample-slow rule holds either way. It wraps the
+// recoverer, so panicking (recovered) requests are observed too.
+//
+// The unsampled path costs one atomic counter increment and allocates
+// nothing, preserving the warm dataplane's alloc budget at any sampling
+// rate.
 func (s *Server) timing(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt := routeClass(r.URL.Path)
+		t := s.cfg.Tracer
+		var parent trace.TraceID
+		var remote trace.SpanID
+		sampled := false
+		if t != nil {
+			if h := r.Header.Get("traceparent"); h != "" {
+				if tid, sid, flag, ok := trace.ParseTraceparent(h); ok {
+					parent, remote = tid, sid
+					sampled = flag
+				}
+			}
+			sampled = sampled || t.SampleNext()
+		}
+		if !sampled {
+			start := time.Now()
+			next.ServeHTTP(w, r)
+			dur := time.Since(start)
+			s.hists[rt].observe(dur)
+			if slow := t.Slow(); slow > 0 && dur >= slow {
+				s.slowReqs.Add(1)
+				// A handler that already captured its own slow trace (the
+				// eval path, which knows the grid) set X-Trace-Id; don't
+				// mint a second trace for the same request.
+				if _, done := w.Header()["X-Trace-Id"]; !done {
+					id := t.Capture(r.Method+" "+r.URL.Path, start, dur)
+					s.log.Warn("slow request",
+						"route", routeNames[rt], "method", r.Method, "path", r.URL.Path,
+						"duration", dur, "trace", id.String())
+				}
+			}
+			return
+		}
+		s.sampled.Add(1)
+		tr := t.Start(parent, remote)
+		w.Header()["X-Trace-Id"] = []string{tr.ID().String()}
+		root := tr.Root(r.Method + " " + r.URL.Path)
+		r = r.WithContext(trace.ContextWithSpan(r.Context(), root))
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		s.hist.observe(time.Since(start))
+		dur := time.Since(start)
+		root.End()
+		slow := t.Slow() > 0 && dur >= t.Slow()
+		t.Finish(tr, dur, slow)
+		s.hists[rt].observe(dur)
+		if slow {
+			s.slowReqs.Add(1)
+			// Eval requests log their own richer line (grid, source) from
+			// handleEval; everything else is logged here.
+			if rt != routeEval {
+				s.log.Warn("slow request",
+					"route", routeNames[rt], "method", r.Method, "path", r.URL.Path,
+					"duration", dur, "trace", tr.ID().String())
+			}
+		}
 	})
 }
 
@@ -485,6 +593,11 @@ func normalizeLine(s string) string {
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	slowAt := s.cfg.Tracer.Slow()
+	var start time.Time
+	if slowAt > 0 {
+		start = time.Now()
+	}
 	sc := evalScratchPool.Get().(*evalScratch)
 	defer evalScratchPool.Put(sc)
 	key, err := readGrid(r, sc)
@@ -492,13 +605,32 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	status, body, err := s.evalSharedScratch(r.Context(), key, false, s.cfg.RequestTimeout, nil, sc)
+	status, body, src, err := s.evalSharedScratch(r.Context(), key, false, s.cfg.RequestTimeout, nil, sc)
 	if err != nil {
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("evaluation queue full (%d jobs in flight)", cap(s.jobs)))
 		return
+	}
+	if slowAt > 0 {
+		if dur := time.Since(start); dur >= slowAt {
+			// The slow-eval line carries what the generic middleware line
+			// cannot: the grid and how the bytes were produced. When head
+			// sampling skipped the request, mint its trace post hoc and echo
+			// the id — setting X-Trace-Id also tells the middleware this
+			// request's slow capture is handled.
+			id := trace.SpanFromContext(r.Context()).TraceID()
+			if id.IsZero() {
+				id = s.cfg.Tracer.Capture(r.Method+" "+r.URL.Path, start, dur,
+					trace.Attr{Key: "grid", Str: key},
+					trace.Attr{Key: "source", Str: src})
+				w.Header()["X-Trace-Id"] = []string{id.String()}
+			}
+			s.log.Warn("slow request",
+				"route", "eval", "grid", key, "source", src, "status", status,
+				"duration", dur, "trace", id.String())
+		}
 	}
 	writeBytes(w, status, body)
 }
@@ -530,7 +662,8 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 func (s *Server) evalShared(ctx context.Context, key string, block bool, timeout time.Duration, progress scenario.ProgressFunc) (int, []byte, error) {
 	sc := evalScratchPool.Get().(*evalScratch)
 	defer evalScratchPool.Put(sc)
-	return s.evalSharedScratch(ctx, key, block, timeout, progress, sc)
+	status, body, _, err := s.evalSharedScratch(ctx, key, block, timeout, progress, sc)
+	return status, body, err
 }
 
 // evalSharedScratch is evalShared with a caller-supplied parse scratch
@@ -539,11 +672,19 @@ func (s *Server) evalShared(ctx context.Context, key string, block bool, timeout
 // no engine walk, no marshal — and a cold evaluation's 200 bytes populate
 // the cache on the way out (one put per flight: population is
 // singleflighted by construction).
-func (s *Server) evalSharedScratch(ctx context.Context, key string, block bool, timeout time.Duration, progress scenario.ProgressFunc, sc *evalScratch) (int, []byte, error) {
+//
+// The src return names how the bytes were produced — "bytecache" (warm
+// hit), "shared" (attached to an identical in-flight evaluation), or
+// "lead" (this call ran the solve) — for the slow-request log line.
+func (s *Server) evalSharedScratch(ctx context.Context, key string, block bool, timeout time.Duration, progress scenario.ProgressFunc, sc *evalScratch) (int, []byte, string, error) {
 	var rk respKey
 	rk, sc.key = respKeyFor(sc.key, respKeyPrefix, key)
 	if body := s.resp.get(rk); body != nil {
-		return http.StatusOK, body, nil
+		if sp := trace.StartSpan(ctx, "resp.cache"); sp.OK() {
+			sp.Attr("outcome", "hit")
+			sp.End()
+		}
+		return http.StatusOK, body, "bytecache", nil
 	}
 	for {
 		s.mu.Lock()
@@ -554,11 +695,14 @@ func (s *Server) evalSharedScratch(ctx context.Context, key string, block bool, 
 			f.attach(ctx)
 			s.mu.Unlock()
 			s.shared.Add(1)
+			asp := trace.StartSpan(ctx, "flight.attach")
 			<-f.done
+			asp.AttrInt("status", int64(f.status))
+			asp.End()
 			if f.status == 499 && ctx.Err() == nil {
 				continue
 			}
-			return f.status, f.body, nil
+			return f.status, f.body, "shared", nil
 		}
 		select {
 		case s.jobs <- struct{}{}:
@@ -566,7 +710,7 @@ func (s *Server) evalSharedScratch(ctx context.Context, key string, block bool, 
 		default:
 			s.mu.Unlock()
 			if !block {
-				return 0, nil, errQueueFull
+				return 0, nil, "", errQueueFull
 			}
 			// Blocking acquisition happens outside the lock (a full queue
 			// must not wedge every handler). The slot is released right away
@@ -580,10 +724,16 @@ func (s *Server) evalSharedScratch(ctx context.Context, key string, block bool, 
 				s.lastSlot.Store(time.Now().UnixNano())
 				continue
 			case <-ctx.Done():
-				return 0, nil, ctx.Err()
+				return 0, nil, "", ctx.Err()
 			}
 		}
 		f := newFlight(timeout)
+		// The flight leader's span travels in f.ctx, so the whole solve —
+		// engine walk, cache tiers, claim waits, mcf phases — nests under
+		// this request's trace. Attached waiters see only their own
+		// flight.attach span; the solve detail lives on the leader's trace.
+		lsp := trace.StartSpan(ctx, "flight.lead")
+		f.ctx = trace.ContextWithSpan(f.ctx, lsp)
 		f.attach(ctx)
 		s.flights[key] = f
 		s.mu.Unlock()
@@ -606,11 +756,13 @@ func (s *Server) evalSharedScratch(ctx context.Context, key string, block bool, 
 				s.lastSlot.Store(time.Now().UnixNano())
 			}()
 			f.status, f.body = s.evaluate(f.ctx, key, progress)
+			lsp.AttrInt("status", int64(f.status))
+			lsp.End()
 			if f.status == http.StatusOK {
 				s.resp.put(rk, f.body)
 			}
 		}()
-		return f.status, f.body, nil
+		return f.status, f.body, "lead", nil
 	}
 }
 
@@ -893,10 +1045,12 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// The exposition is rendered into a buffer first so the response can
-	// carry Content-Length like every other endpoint.
+	// carry Content-Length like every other endpoint. Every family goes
+	// out with its HELP/TYPE pair (emitMetric), so the scrape is
+	// well-formed Prometheus text, not just name/value lines.
 	var buf bytes.Buffer
 	g := func(name string, v int64) {
-		fmt.Fprintf(&buf, "topobench_%s %d\n", name, v)
+		emitMetric(&buf, name, v)
 	}
 	if c := s.cfg.Cache; c != nil {
 		st := c.Stats()
@@ -984,12 +1138,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g("response_bytes_cache_evictions_total", rc.Evictions)
 	g("response_bytes_cache_entries", int64(rc.Entries))
 	g("response_bytes_cache_bytes", rc.Bytes)
-	s.hist.render(&buf, "topobench_request_seconds")
+	if s.cfg.Tracer != nil {
+		g("traces_sampled_total", s.sampled.Load())
+		g("traces_slow_total", s.slowReqs.Load())
+	}
+	renderRouteHists(&buf, "topobench_request_seconds", &s.hists)
 	h := w.Header()
 	h["Content-Type"] = metricsCTVal
 	h["Content-Length"] = []string{strconv.Itoa(buf.Len())}
 	w.WriteHeader(http.StatusOK)
 	w.Write(buf.Bytes())
+}
+
+// handleTraces serves the tracer's ring of completed traces, newest
+// first, as JSON. ?min=<duration> keeps only traces at least that slow —
+// the operator's "show me what hurt" filter. 404 without a Tracer, so a
+// tracing-disabled replica looks exactly like an older one.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	t := s.cfg.Tracer
+	if t == nil {
+		writeError(w, http.StatusNotFound, errors.New("tracing disabled (serve with -trace-sample)"))
+		return
+	}
+	var min time.Duration
+	if q := r.URL.Query().Get("min"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad min duration %q: %v", q, err))
+			return
+		}
+		min = d
+	}
+	traces := t.Snapshot(min)
+	if traces == nil {
+		traces = []trace.TraceJSON{}
+	}
+	body, err := json.MarshalIndent(struct {
+		Traces []trace.TraceJSON `json:"traces"`
+	}{traces}, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeBytes(w, http.StatusOK, append(body, '\n'))
 }
 
 // writeBytes writes a complete JSON response with explicit Content-Length.

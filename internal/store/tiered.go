@@ -1,10 +1,13 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Backend is the key-value contract a Tiered remote tier must honor —
@@ -15,6 +18,15 @@ import (
 type Backend interface {
 	Load(key string) ([]float64, bool)
 	Save(key string, vals []float64) error
+}
+
+// CtxBackend is the optional Backend extension for context-aware loads
+// (structurally scenario.CtxBackend): a backend that can propagate the
+// caller's trace context downstream — the remotestore client forwards it
+// as a W3C traceparent header so the peer's spans join the caller's
+// trace — implements LoadCtx. Tiered.LoadCtx uses it when present.
+type CtxBackend interface {
+	LoadCtx(ctx context.Context, key string) ([]float64, bool)
 }
 
 // LinkedSaver is the optional Backend extension for parent-linked
@@ -123,13 +135,32 @@ func (t *Tiered) count(f func(*TieredStats)) {
 // means the caller should solve — and, when claims are enabled, that this
 // replica holds the solve lease (or waiting it out was exhausted).
 func (t *Tiered) Load(key string) ([]float64, bool) {
+	return t.LoadCtx(context.Background(), key)
+}
+
+// LoadCtx is Load carrying the caller's context. When the context holds
+// a sampled trace span, every rung of the degradation ladder records a
+// span — disk read, peer read (forwarded to the remote tier via
+// CtxBackend so its spans join the same trace), and claim-lease waits
+// with their outcome; on the unsampled path the span calls are inert
+// and LoadCtx costs the same as Load.
+func (t *Tiered) LoadCtx(ctx context.Context, key string) ([]float64, bool) {
 	addr := Addr(key)
+	dsp := trace.StartSpan(ctx, "tier.disk")
 	if vals, ok := t.disk.LoadAddr(addr); ok {
+		dsp.Attr("outcome", "hit")
+		dsp.End()
 		t.count(func(s *TieredStats) { s.DiskHits++ })
 		return vals, true
 	}
+	dsp.Attr("outcome", "miss")
+	dsp.End()
 	if t.remote != nil {
-		if vals, ok := t.remote.Load(key); ok {
+		psp := trace.StartSpan(ctx, "tier.peer")
+		vals, ok := t.loadRemote(ctx, key)
+		if ok {
+			psp.Attr("outcome", "hit")
+			psp.End()
 			// Write-back promotion: the next miss on this replica (or any
 			// pool peer) is a disk hit even if the remote is down by then.
 			if err := t.disk.SaveAddr(addr, vals); err != nil {
@@ -139,6 +170,8 @@ func (t *Tiered) Load(key string) ([]float64, bool) {
 			}
 			return vals, true
 		}
+		psp.Attr("outcome", "miss")
+		psp.End()
 	}
 	if t.opt.LeaseTTL <= 0 {
 		t.count(func(s *TieredStats) { s.Misses++ })
@@ -147,6 +180,8 @@ func (t *Tiered) Load(key string) ([]float64, bool) {
 	// Claim-based singleflight: win the lease and solve, or wait for the
 	// holder's result. Both waiting and reclaiming are bounded, so this
 	// path can never stall a solve indefinitely.
+	csp := trace.StartSpan(ctx, "claim.wait")
+	defer csp.End()
 	for cycle := 0; cycle < t.opt.WaitCycles; cycle++ {
 		if cycle > 0 {
 			// A previous holder may have published between our last poll and
@@ -154,12 +189,14 @@ func (t *Tiered) Load(key string) ([]float64, bool) {
 			// bypasses the negative cache: the whole point of polling is to
 			// see another process's publish immediately.
 			if vals, ok := t.disk.loadAddrFresh(addr); ok {
+				csp.Attr("outcome", "wait-hit")
 				t.count(func(s *TieredStats) { s.WaitHits++ })
 				return vals, true
 			}
 		}
 		won, deadline := t.disk.Claim(addr, t.opt.Owner, t.opt.LeaseTTL)
 		if won {
+			csp.Attr("outcome", "claimed")
 			t.count(func(s *TieredStats) { s.ClaimsWon++; s.Misses++ })
 			return nil, false
 		}
@@ -168,6 +205,7 @@ func (t *Tiered) Load(key string) ([]float64, bool) {
 		for time.Now().Before(deadline) {
 			time.Sleep(t.opt.Poll)
 			if vals, ok := t.disk.loadAddrFresh(addr); ok {
+				csp.Attr("outcome", "wait-hit")
 				t.count(func(s *TieredStats) { s.WaitHits++ })
 				return vals, true
 			}
@@ -183,8 +221,18 @@ func (t *Tiered) Load(key string) ([]float64, bool) {
 			t.count(func(s *TieredStats) { s.Reclaims++ })
 		}
 	}
+	csp.Attr("outcome", "wait-timeout")
 	t.count(func(s *TieredStats) { s.WaitTimeouts++; s.Misses++ })
 	return nil, false
+}
+
+// loadRemote dispatches one remote-tier read, via LoadCtx when the
+// remote backend is context-aware.
+func (t *Tiered) loadRemote(ctx context.Context, key string) ([]float64, bool) {
+	if cb, ok := t.remote.(CtxBackend); ok {
+		return cb.LoadCtx(ctx, key)
+	}
+	return t.remote.Load(key)
 }
 
 // Save publishes to disk, best-effort to the remote tier, and releases

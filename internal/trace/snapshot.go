@@ -1,0 +1,95 @@
+package trace
+
+import "time"
+
+// TraceJSON is the wire form of one completed trace as served by
+// GET /debug/traces. The schema is documented in doc.go's
+// Observability section; tests and the CI tracing smoke rely on it.
+type TraceJSON struct {
+	TraceID    string     `json:"trace_id"`
+	Root       string     `json:"root"`
+	Start      time.Time  `json:"start"`
+	DurationUS int64      `json:"duration_us"`
+	Slow       bool       `json:"slow,omitempty"`
+	Dropped    int        `json:"dropped_spans,omitempty"`
+	Spans      []SpanJSON `json:"spans"`
+}
+
+// SpanJSON is one span inside a TraceJSON.
+type SpanJSON struct {
+	SpanID     string         `json:"span_id"`
+	Parent     string         `json:"parent,omitempty"`
+	Name       string         `json:"name"`
+	StartUS    int64          `json:"start_us"`
+	DurationUS int64          `json:"duration_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Snapshot returns the retained traces, newest first, keeping only
+// traces with duration >= min (min <= 0 keeps everything).
+func (t *Tracer) Snapshot(min time.Duration) []TraceJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	n := len(t.ring)
+	recs := make([]*traceRec, 0, n)
+	// Walk backwards from the most recently written slot.
+	for i := 1; i <= n; i++ {
+		r := t.ring[(t.next-i+n)%n]
+		if r == nil {
+			break
+		}
+		recs = append(recs, r)
+	}
+	t.mu.Unlock()
+
+	out := make([]TraceJSON, 0, len(recs))
+	for _, r := range recs {
+		if r.dur < min {
+			continue
+		}
+		tj := TraceJSON{
+			TraceID:    r.id.String(),
+			Start:      r.start,
+			DurationUS: r.dur.Microseconds(),
+			Slow:       r.slow,
+			Dropped:    r.drops,
+			Spans:      make([]SpanJSON, 0, len(r.spans)),
+		}
+		if len(r.spans) > 0 {
+			tj.Root = r.spans[0].name
+		}
+		for _, sp := range r.spans {
+			sj := SpanJSON{
+				SpanID:  sp.id.String(),
+				Name:    sp.name,
+				StartUS: sp.start.Sub(r.start).Microseconds(),
+			}
+			if !sp.parent.IsZero() {
+				sj.Parent = sp.parent.String()
+			}
+			end := sp.end
+			if end.IsZero() {
+				// A span never ended (leaked or trace finished first):
+				// clamp to the trace end so durations stay sane.
+				end = r.start.Add(r.dur)
+			}
+			sj.DurationUS = end.Sub(sp.start).Microseconds()
+			if len(sp.attrs) > 0 {
+				attrs := make(map[string]any, len(sp.attrs))
+				for _, a := range sp.attrs {
+					if a.IsNum {
+						attrs[a.Key] = a.Num
+					} else {
+						attrs[a.Key] = a.Str
+					}
+				}
+				sj.Attrs = attrs
+			}
+			tj.Spans = append(tj.Spans, sj)
+		}
+		out = append(out, tj)
+	}
+	return out
+}
